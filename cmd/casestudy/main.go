@@ -1,0 +1,238 @@
+// Command casestudy reproduces the paper's Section 5 evaluation on the
+// Set-Top box specification: Table 1, the Pareto-optimal set, the
+// search-space reduction statistics, and the Fig. 4 trade-off curve.
+//
+// Usage:
+//
+//	casestudy                  # run EXPLORE, print the Pareto table + stats
+//	casestudy -table1          # print Table 1 (possible mappings)
+//	casestudy -tradeoff        # print the Fig. 4 trade-off curve as TSV
+//	casestudy -compare         # compare EXPLORE, exhaustive, random, EA
+//	casestudy -timing=rta      # ablation: exact response-time analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/activation"
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/hgraph"
+	"repro/internal/listsched"
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+// paperName maps internal unit IDs to the paper's component names.
+func paperName(id hgraph.ID) string {
+	switch id {
+	case "dD3":
+		return "D3"
+	case "dU2":
+		return "U2"
+	case "dG1":
+		return "G1"
+	default:
+		return strings.Replace(string(id), "uP", "uP", 1)
+	}
+}
+
+func allocString(im *core.Implementation) string {
+	var parts []string
+	for _, id := range im.Allocation.IDs() {
+		parts = append(parts, paperName(id))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+func clusterString(im *core.Implementation) string {
+	var parts []string
+	for _, c := range im.Clusters {
+		cs := string(c)
+		// Only the leaf clusters are listed in the paper's table.
+		switch cs {
+		case "GP", "gG", "gD":
+			continue
+		}
+		parts = append(parts, "y"+strings.TrimPrefix(cs, "g"))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+func timingPolicy(name string) bind.TimingPolicy {
+	switch name {
+	case "none":
+		return bind.TimingNone
+	case "ll", "liu-layland":
+		return bind.TimingLiuLayland
+	case "rta":
+		return bind.TimingRTA
+	default:
+		return bind.TimingPaper
+	}
+}
+
+func main() {
+	table1 := flag.Bool("table1", false, "print Table 1 (possible mappings and latencies)")
+	tradeoff := flag.Bool("tradeoff", false, "print the Fig. 4 flexibility/cost trade-off as TSV")
+	compare := flag.Bool("compare", false, "compare EXPLORE against exhaustive, random and EA baselines")
+	verify := flag.Bool("verify", false, "re-verify every front implementation end to end (binding rules, schedules, activation rules)")
+	family := flag.Bool("family", false, "product-family analysis of the front (entry costs, commonality, marginal costs)")
+	timing := flag.String("timing", "paper", "timing policy: paper|rta|ll|none")
+	weighted := flag.Bool("weighted", false, "use the weighted flexibility metric (footnote 2)")
+	flag.Parse()
+
+	s := models.SetTopBox()
+	opts := core.Options{Timing: timingPolicy(*timing), Weighted: *weighted}
+
+	switch {
+	case *table1:
+		printTable1()
+	case *tradeoff:
+		r := core.Explore(s, opts)
+		var pts []dot.TradeoffPoint
+		for _, im := range r.Front {
+			pts = append(pts, dot.TradeoffPoint{
+				Cost: im.Cost, Flexibility: im.Flexibility, Label: allocString(im),
+			})
+		}
+		fmt.Print(dot.TradeoffTSV(pts))
+	case *compare:
+		compareExplorers(s, opts)
+	case *verify:
+		verifyFront(s, opts)
+	case *family:
+		r := core.Explore(s, opts)
+		fmt.Print(core.AnalyzeFamily(s, r.Front))
+	default:
+		r := core.Explore(s, opts)
+		fmt.Println("Set-Top box case study (Section 5) — Pareto-optimal set:")
+		fmt.Println()
+		fmt.Printf("%-26s | %-40s | %6s | %2s\n", "Resources", "Clusters", "c", "f")
+		fmt.Println(strings.Repeat("-", 84))
+		for _, im := range r.Front {
+			fmt.Printf("%-26s | %-40s | $%5.0f | %2.0f\n",
+				allocString(im), clusterString(im), im.Cost, im.Flexibility)
+		}
+		fmt.Println()
+		st := r.Stats
+		fmt.Printf("design space        : 2^25 = %.0f design points\n", st.DesignSpace)
+		fmt.Printf("allocation subsets  : 2^14 = %.0f (scanned %d in cost order)\n", st.AllocSpace, st.Scanned)
+		fmt.Printf("possible allocations: %d (flexibility estimated for each)\n", st.PossibleAllocations)
+		fmt.Printf("implementations     : %d attempted, %d feasible\n", st.Attempted, st.Feasible)
+		fmt.Printf("binding solver      : %d runs over %d behaviours (%d search nodes)\n",
+			st.BindingRuns, st.ECSTested, st.BindingNodes)
+		fmt.Printf("maximum flexibility : %g\n", r.MaxFlexibility)
+	}
+}
+
+func printTable1() {
+	resources := []hgraph.ID{"uP1", "uP2", "A1", "A2", "A3", "D3", "U2", "G1"}
+	fmt.Printf("%-8s", "Process")
+	for _, r := range resources {
+		fmt.Printf(" %5s", r)
+	}
+	fmt.Println()
+	fmt.Println(strings.Repeat("-", 8+6*len(resources)))
+	for _, row := range models.Table1() {
+		fmt.Printf("%-8s", row.Process)
+		for _, r := range resources {
+			if lat, ok := row.Latencies[r]; ok {
+				fmt.Printf(" %5.0f", lat)
+			} else {
+				fmt.Printf(" %5s", "-")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func compareExplorers(s *spec.Spec, opts core.Options) {
+	type run struct {
+		name string
+		res  *core.Result
+	}
+	runs := []run{
+		{"EXPLORE (paper)", core.Explore(s, opts)},
+		{"exhaustive", core.Exhaustive(s, opts)},
+		{"random (1000)", core.RandomSearch(s, opts, 1000, 1)},
+		{"evolutionary", core.Evolutionary(s, opts, core.EAConfig{Seed: 1})},
+	}
+	fmt.Printf("%-16s | %6s | %9s | %8s | %9s\n", "explorer", "front", "attempted", "bindings", "nodes")
+	fmt.Println(strings.Repeat("-", 62))
+	for _, r := range runs {
+		fmt.Printf("%-16s | %6d | %9d | %8d | %9d\n", r.name, len(r.res.Front),
+			r.res.Stats.Attempted, r.res.Stats.BindingRuns, r.res.Stats.BindingNodes)
+	}
+	os.Exit(0)
+}
+
+// verifyFront re-derives every Pareto implementation and checks each of
+// its behaviours with the independent validators: binding feasibility
+// rules, a constructed static schedule, and the hierarchical activation
+// rules over a round-robin schedule of all behaviours. It also reports
+// the latency head-room an optimizing re-binding recovers.
+func verifyFront(s *spec.Spec, opts core.Options) {
+	opts.AllBehaviours = true
+	r := core.Explore(s, opts)
+	failures := 0
+	for _, im := range r.Front {
+		var phases []activation.Phase
+		saved, optimal := 0.0, 0.0
+		for i, beh := range im.Behaviours {
+			fp, err := s.Problem.Flatten(beh.ECS.Selection)
+			if err != nil {
+				fmt.Println("FAIL flatten:", err)
+				failures++
+				continue
+			}
+			av, err := s.ArchViewFor(im.Allocation, beh.ArchSelection)
+			if err != nil {
+				fmt.Println("FAIL arch view:", err)
+				failures++
+				continue
+			}
+			if err := bind.Check(s, fp, av, beh.Binding, bind.Options{Timing: bind.TimingPaper}); err != nil {
+				fmt.Println("FAIL binding rules:", err)
+				failures++
+			}
+			sch, err := listsched.Build(s, fp, beh.Binding)
+			if err != nil {
+				fmt.Println("FAIL schedule:", err)
+				failures++
+			} else if err := listsched.Validate(s, fp, beh.Binding, sch); err != nil {
+				fmt.Println("FAIL schedule validation:", err)
+				failures++
+			}
+			if best, ok := bind.FindMinLatency(s, fp, av, bind.Options{Timing: bind.TimingPaper}); ok {
+				saved += bind.TotalLatency(s, beh.Binding) - bind.TotalLatency(s, best.Binding)
+				optimal += bind.TotalLatency(s, best.Binding)
+			}
+			phases = append(phases, activation.Phase{
+				Start:         float64(i) * 10000,
+				Selection:     beh.ECS.Selection,
+				ArchSelection: beh.ArchSelection,
+				Binding:       beh.Binding,
+			})
+		}
+		sched := &activation.Schedule{Phases: phases}
+		if err := activation.CheckSchedule(s, im.Allocation, sched, bind.Options{Timing: bind.TimingPaper}); err != nil {
+			fmt.Println("FAIL activation rules:", err)
+			failures++
+		}
+		fmt.Printf("$%4.0f f=%-2g: %d behaviours verified; re-binding saves %4.0f ns total latency (optimum %4.0f)\n",
+			im.Cost, im.Flexibility, len(im.Behaviours), saved, optimal)
+	}
+	if failures > 0 {
+		fmt.Printf("%d verification failures\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all implementations verified end to end")
+}

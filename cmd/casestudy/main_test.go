@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+func TestPaperName(t *testing.T) {
+	cases := map[string]string{
+		"dD3": "D3", "dU2": "U2", "dG1": "G1", "uP2": "uP2", "A1": "A1", "C1": "C1",
+	}
+	for in, want := range cases {
+		if got := paperName(hgraph.ID(in)); got != want {
+			t.Errorf("paperName(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestAllocAndClusterStrings(t *testing.T) {
+	s := models.SetTopBox()
+	im := core.Implement(s, spec.NewAllocation("uP2", "dG1", "dU2", "C1"), core.Options{}, nil)
+	if im == nil {
+		t.Fatal("implement failed")
+	}
+	as := allocString(im)
+	if as != "C1, G1, U2, uP2" {
+		t.Errorf("allocString = %q", as)
+	}
+	cs := clusterString(im)
+	if cs != "yD1, yG1, yI, yU1, yU2" {
+		t.Errorf("clusterString = %q", cs)
+	}
+	if strings.Contains(cs, "yD,") || strings.Contains(cs, "yG,") {
+		t.Error("parent clusters must be omitted")
+	}
+}
+
+func TestTimingPolicyFlag(t *testing.T) {
+	cases := map[string]bind.TimingPolicy{
+		"paper": bind.TimingPaper, "none": bind.TimingNone,
+		"ll": bind.TimingLiuLayland, "liu-layland": bind.TimingLiuLayland,
+		"rta": bind.TimingRTA, "anything-else": bind.TimingPaper,
+	}
+	for in, want := range cases {
+		if got := timingPolicy(in); got != want {
+			t.Errorf("timingPolicy(%s) = %v, want %v", in, got, want)
+		}
+	}
+}

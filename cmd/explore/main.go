@@ -1,0 +1,192 @@
+// Command explore runs flexibility/cost design-space exploration on an
+// arbitrary specification graph given as JSON (see internal/spec for
+// the format), or on one of the built-in paper models.
+//
+// Usage:
+//
+//	explore -spec system.json            # EXPLORE, print the Pareto front
+//	explore -model settop -stats         # built-in model with counters
+//	explore -spec system.json -algo ea   # evolutionary baseline
+//	explore -spec system.json -tsv       # trade-off curve as TSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/hgraph"
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "path to a specification graph JSON file (- for stdin)")
+	model := flag.String("model", "", "built-in model: settop | decoder | sdr | synthetic")
+	algo := flag.String("algo", "explore", "explorer: explore | exhaustive | random | ea")
+	timing := flag.String("timing", "paper", "timing policy: paper | rta | ll | none")
+	weighted := flag.Bool("weighted", false, "weighted flexibility metric")
+	stats := flag.Bool("stats", false, "print exploration statistics")
+	tsv := flag.Bool("tsv", false, "emit the front as TSV instead of a table")
+	asJSON := flag.Bool("json", false, "emit the full result (front, behaviours, stats) as JSON")
+	iters := flag.Int("iters", 1000, "iterations for -algo random")
+	seed := flag.Int64("seed", 1, "seed for random/ea explorers and synthetic models")
+	stopMax := flag.Bool("stop-at-max", false, "terminate when maximum flexibility is implemented")
+	objectives := flag.String("objectives", "", "comma-separated extra objectives beyond cost+1/flexibility: latency, or any resource attribute (e.g. power)")
+	upgradeFrom := flag.String("upgrade-from", "", "comma-separated deployed units; explore cost-ordered upgrades (supersets only)")
+	workers := flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS); front is identical to sequential")
+	flag.Parse()
+
+	s, err := loadSpec(*specPath, *model, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+
+	opts := core.Options{Weighted: *weighted, StopAtMaxFlex: *stopMax}
+	switch *timing {
+	case "paper":
+		opts.Timing = bind.TimingPaper
+	case "rta":
+		opts.Timing = bind.TimingRTA
+	case "ll":
+		opts.Timing = bind.TimingLiuLayland
+	case "none":
+		opts.Timing = bind.TimingNone
+	default:
+		fmt.Fprintf(os.Stderr, "explore: unknown timing policy %q\n", *timing)
+		os.Exit(2)
+	}
+
+	if *objectives != "" {
+		runMulti(s, opts, *objectives)
+		return
+	}
+	if *upgradeFrom != "" {
+		base := spec.Allocation{}
+		for _, id := range strings.Split(*upgradeFrom, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" {
+				base[hgraph.ID(id)] = true
+			}
+		}
+		r := core.Upgrade(s, base, opts)
+		fmt.Printf("upgrades of %v: %d Pareto-optimal extensions\n\n", base, len(r.Front))
+		fmt.Print(r.FrontTable(s.Problem.Root.ID))
+		return
+	}
+
+	var r *core.Result
+	switch *algo {
+	case "explore":
+		if *workers != 1 {
+			r = core.ExploreParallel(s, opts, *workers, 0)
+		} else {
+			r = core.Explore(s, opts)
+		}
+	case "exhaustive":
+		r = core.Exhaustive(s, opts)
+	case "random":
+		r = core.RandomSearch(s, opts, *iters, *seed)
+	case "ea":
+		r = core.Evolutionary(s, opts, core.EAConfig{Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "explore: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	if *asJSON {
+		data, err := r.MarshalJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explore:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	if *tsv {
+		var pts []dot.TradeoffPoint
+		for _, im := range r.Front {
+			pts = append(pts, dot.TradeoffPoint{
+				Cost: im.Cost, Flexibility: im.Flexibility, Label: im.Allocation.String(),
+			})
+		}
+		fmt.Print(dot.TradeoffTSV(pts))
+	} else {
+		fmt.Printf("specification %q: %d Pareto-optimal implementations (max flexibility %g)\n\n",
+			s.Name, len(r.Front), r.MaxFlexibility)
+		fmt.Print(r.FrontTable(s.Problem.Root.ID))
+	}
+	if *stats {
+		st := r.Stats
+		fmt.Println()
+		fmt.Println(s.Summary())
+		fmt.Printf("design space         : %.3g design points\n", st.DesignSpace)
+		fmt.Printf("allocation space     : %.3g subsets, %d scanned\n", st.AllocSpace, st.Scanned)
+		fmt.Printf("possible allocations : %d\n", st.PossibleAllocations)
+		fmt.Printf("implementations      : %d attempted, %d feasible\n", st.Attempted, st.Feasible)
+		fmt.Printf("binding solver       : %d runs, %d nodes, %d behaviours tested\n",
+			st.BindingRuns, st.BindingNodes, st.ECSTested)
+	}
+}
+
+func loadSpec(path, model string, seed int64) (*spec.Spec, error) {
+	switch {
+	case path == "" && model == "":
+		return nil, fmt.Errorf("one of -spec or -model is required")
+	case path != "" && model != "":
+		return nil, fmt.Errorf("-spec and -model are mutually exclusive")
+	case path == "-":
+		return spec.Read(os.Stdin)
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return spec.Read(f)
+	}
+	switch model {
+	case "settop":
+		return models.SetTopBox(), nil
+	case "decoder":
+		return models.Decoder(), nil
+	case "sdr":
+		return models.SDR(), nil
+	case "synthetic":
+		return models.Synthetic(models.DefaultSynthetic(seed)), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (settop | decoder | sdr | synthetic)", model)
+	}
+}
+
+// runMulti runs the generalized multi-objective exploration.
+func runMulti(s *spec.Spec, opts core.Options, names string) {
+	objs := []core.Objective{core.CostObjective(), core.InvFlexibilityObjective()}
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		switch n {
+		case "":
+		case "latency":
+			opts.AllBehaviours = true
+			objs = append(objs, core.MeanLatencyObjective())
+		default:
+			objs = append(objs, core.ResourceSumObjective(n))
+		}
+	}
+	r := core.ExploreMulti(s, opts, objs)
+	for _, name := range r.Names {
+		fmt.Printf("%-14s ", name)
+	}
+	fmt.Println("allocation")
+	for i, im := range r.Front {
+		for _, v := range r.Objectives[i] {
+			fmt.Printf("%-14.4g ", v)
+		}
+		fmt.Println(im.Allocation)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestLoadSpecModels(t *testing.T) {
+	for _, m := range []string{"settop", "decoder", "synthetic"} {
+		s, err := loadSpec("", m, 1)
+		if err != nil {
+			t.Errorf("loadSpec(%s): %v", m, err)
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("model %s invalid: %v", m, err)
+		}
+	}
+}
+
+func TestLoadSpecErrors(t *testing.T) {
+	if _, err := loadSpec("", "", 0); err == nil {
+		t.Error("no source should error")
+	}
+	if _, err := loadSpec("x.json", "settop", 0); err == nil {
+		t.Error("both sources should error")
+	}
+	if _, err := loadSpec("", "nope", 0); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := loadSpec("/nonexistent.json", "", 0); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+// TestLoadSpecFromJSONFile loads the shipped case-study model from disk
+// and checks that exploring it reproduces the published front.
+func TestLoadSpecFromJSONFile(t *testing.T) {
+	s, err := loadSpec("../../testdata/settop.json", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.Explore(s, core.Options{})
+	want := [][2]float64{{100, 2}, {120, 3}, {230, 4}, {290, 5}, {360, 7}, {430, 8}}
+	if len(r.Front) != len(want) {
+		t.Fatalf("front size = %d, want %d", len(r.Front), len(want))
+	}
+	for i, w := range want {
+		if r.Front[i].Cost != w[0] || r.Front[i].Flexibility != w[1] {
+			t.Errorf("row %d = (%v,%v), want (%v,%v)",
+				i, r.Front[i].Cost, r.Front[i].Flexibility, w[0], w[1])
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command flexdot renders hierarchical graphs and specification graphs
+// as Graphviz DOT, reproducing the visual structure of the paper's
+// figures.
+//
+// Usage:
+//
+//	flexdot -model fig1            # Fig. 1: TV decoder problem graph
+//	flexdot -model fig2            # Fig. 2: decoder specification graph
+//	flexdot -model fig3            # Fig. 3: Set-Top problem graph
+//	flexdot -model fig5            # Fig. 5: Set-Top specification graph
+//	flexdot -spec system.json      # custom specification
+//	flexdot -spec system.json -part problem
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alloc"
+	"repro/internal/dot"
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+func main() {
+	model := flag.String("model", "", "figure to render: fig1 | fig2 | fig3 | fig5 | sdr | settop-bdd | decoder-bdd")
+	specPath := flag.String("spec", "", "path to a specification JSON file (- for stdin)")
+	part := flag.String("part", "spec", "which part to render: spec | problem | arch")
+	flag.Parse()
+
+	out, err := render(*model, *specPath, *part)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexdot:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+func render(model, specPath, part string) (string, error) {
+	switch model {
+	case "fig1":
+		return dot.Hierarchical(models.DecoderProblem()), nil
+	case "fig3":
+		return dot.Hierarchical(models.SetTopProblem()), nil
+	case "fig2":
+		return renderSpec(models.Decoder(), part)
+	case "fig5":
+		return renderSpec(models.SetTopBox(), part)
+	case "sdr":
+		return renderSpec(models.SDR(), part)
+	case "settop-bdd":
+		return allocBDD(models.SetTopBox()), nil
+	case "decoder-bdd":
+		return allocBDD(models.Decoder()), nil
+	case "":
+		// fall through to -spec
+	default:
+		return "", fmt.Errorf("unknown model %q", model)
+	}
+	if specPath == "" {
+		return "", fmt.Errorf("one of -model or -spec is required")
+	}
+	var s *spec.Spec
+	var err error
+	if specPath == "-" {
+		s, err = spec.Read(os.Stdin)
+	} else {
+		f, ferr := os.Open(specPath)
+		if ferr != nil {
+			return "", ferr
+		}
+		defer f.Close()
+		s, err = spec.Read(f)
+	}
+	if err != nil {
+		return "", err
+	}
+	return renderSpec(s, part)
+}
+
+func renderSpec(s *spec.Spec, part string) (string, error) {
+	switch part {
+	case "spec":
+		return dot.Specification(s), nil
+	case "problem":
+		return dot.Hierarchical(s.Problem), nil
+	case "arch":
+		return dot.Hierarchical(s.Arch), nil
+	default:
+		return "", fmt.Errorf("unknown part %q (spec | problem | arch)", part)
+	}
+}
+
+// allocBDD renders the paper's "one boolean equation" — the
+// possible-resource-allocation constraint — as a BDD diagram.
+func allocBDD(s *spec.Spec) string {
+	m, f, units := alloc.Symbolic(s)
+	names := make([]string, len(units))
+	for i, u := range units {
+		names[i] = string(u.ID)
+	}
+	return m.DOT(f, names)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderModels(t *testing.T) {
+	cases := []struct {
+		model, part, want string
+	}{
+		{"fig1", "spec", "decoder-problem"},
+		{"fig3", "spec", "settop-problem"},
+		{"fig2", "spec", "cluster_problem"},
+		{"fig2", "problem", "decoder-problem"},
+		{"fig2", "arch", "decoder-arch"},
+		{"fig5", "spec", "cluster_arch"},
+	}
+	for _, c := range cases {
+		out, err := render(c.model, "", c.part)
+		if err != nil {
+			t.Errorf("render(%s,%s): %v", c.model, c.part, err)
+			continue
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("render(%s,%s) lacks %q", c.model, c.part, c.want)
+		}
+	}
+}
+
+func TestRenderFromFile(t *testing.T) {
+	out, err := render("", "../../testdata/settop.json", "spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cluster_problem") || !strings.Contains(out, `"PD3" -> "D3"`) {
+		t.Error("file-based rendering incomplete")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := render("nope", "", "spec"); err == nil {
+		t.Error("unknown model")
+	}
+	if _, err := render("", "", "spec"); err == nil {
+		t.Error("no source")
+	}
+	if _, err := render("fig2", "", "nope"); err == nil {
+		t.Error("unknown part")
+	}
+	if _, err := render("", "/nonexistent.json", "spec"); err == nil {
+		t.Error("missing file")
+	}
+}
+
+func TestRenderBDDModels(t *testing.T) {
+	for _, model := range []string{"settop-bdd", "decoder-bdd"} {
+		out, err := render(model, "", "spec")
+		if err != nil {
+			t.Fatalf("render(%s): %v", model, err)
+		}
+		if !strings.Contains(out, "digraph bdd") || !strings.Contains(out, "style=dashed") {
+			t.Errorf("%s output not a BDD diagram", model)
+		}
+	}
+	// The Set-Top equation reduces to "a processor is allocated".
+	out, _ := render("settop-bdd", "", "spec")
+	if !strings.Contains(out, `label="uP2"`) || !strings.Contains(out, `label="uP1"`) {
+		t.Error("allocation BDD should test the processors")
+	}
+}

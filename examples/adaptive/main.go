@@ -1,0 +1,89 @@
+// Adaptive system at run time: what flexibility buys when the
+// environment keeps changing.
+//
+//	go run ./examples/adaptive
+//
+// Every Pareto-optimal Set-Top box faces the same stream of channel
+// switches (TV stations with different decryption/uncompression
+// demands, game sessions, browsing). More flexible boxes serve more of
+// the stream; the simulator also accounts FPGA reconfigurations and
+// emits a hierarchical timed activation that is re-verified against
+// the activation rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/activation"
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+func main() {
+	s := models.SetTopBox()
+	r := core.Explore(s, core.Options{AllBehaviours: true})
+
+	fmt.Println("Service level of each Pareto-optimal Set-Top box under a")
+	fmt.Println("random environment trace (500 requests over the 10 behaviours):")
+	fmt.Println()
+	trace := sim.RandomTrace(s, 2026, 500)
+	fmt.Printf("%10s | %4s | %9s | %8s | %8s | %8s\n",
+		"cost", "f", "expected", "served", "rejected", "reconfig")
+	fmt.Println("------------------------------------------------------------")
+	for _, im := range r.Front {
+		rep, err := sim.Run(s, im, trace, sim.Config{ReconfigDelay: 50, SwitchDelay: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9.0f$ | %4.0f | %8.0f%% | %7.1f%% | %8d | %8d\n",
+			im.Cost, im.Flexibility,
+			100*sim.ExpectedServiceLevel(s, im),
+			100*rep.ServedFraction(), rep.Rejected, rep.Reconfigurations)
+	}
+
+	// A day in the life of the $290 box, verified phase by phase.
+	fmt.Println()
+	fmt.Println("Timed activation of the $290 box over an evening:")
+	im := find(r, 290)
+	evening := []sim.Request{
+		{At: 0, Behaviour: sel("IApp", "gD", "ID", "gD1", "IU", "gU1")},    // station A
+		{At: 3600, Behaviour: sel("IApp", "gG", "IG", "gG1")},              // game break
+		{At: 7200, Behaviour: sel("IApp", "gD", "ID", "gD3", "IU", "gU1")}, // station B
+		{At: 9000, Behaviour: sel("IApp", "gI")},                           // browsing
+	}
+	rep, err := sim.Run(s, im, evening, sim.Config{ReconfigDelay: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range rep.Events {
+		fmt.Printf("  t=%6.0f  %-11s %s\n", e.At, e.Kind, e.Detail)
+	}
+	if err := activation.CheckSchedule(s, im.Allocation, &rep.Schedule, bind.Options{}); err != nil {
+		log.Fatalf("schedule verification failed: %v", err)
+	}
+	behSw, reconf := rep.Schedule.Switches()
+	fmt.Printf("schedule verified: %d phases, %d behaviour switches, %d FPGA reconfigurations\n",
+		len(rep.Schedule.Phases), behSw, reconf)
+}
+
+func find(r *core.Result, cost float64) *core.Implementation {
+	for _, im := range r.Front {
+		if im.Cost == cost {
+			return im
+		}
+	}
+	log.Fatalf("no front point at cost %v", cost)
+	return nil
+}
+
+func sel(kv ...string) hgraph.Selection {
+	out := hgraph.Selection{}
+	for i := 0; i < len(kv); i += 2 {
+		out[hgraph.ID(kv[i])] = hgraph.ID(kv[i+1])
+	}
+	return out
+}

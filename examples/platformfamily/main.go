@@ -1,0 +1,94 @@
+// Platform-based design: dimensioning one platform for a product
+// family.
+//
+//	go run ./examples/platformfamily
+//
+// A vendor ships three product tiers from one platform. The weighted
+// flexibility metric (the paper's footnote 2) expresses that the TV
+// behaviours earn more than the game behaviours; exploration under
+// different timing policies shows how much platform the 69 % estimate
+// over-provisions compared to exact response-time analysis.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+func main() {
+	// --- Tiered product family via weighted flexibility. ---
+	s := models.SetTopBox()
+	// The browser ships in every tier (weight 1); TV variants are the
+	// revenue drivers (weight 2 each); game classes are premium extras
+	// (weight 1.5).
+	for _, c := range []hgraph.ID{"gD1", "gD2", "gD3", "gU1", "gU2"} {
+		s.Problem.ClusterByID(c).Attrs = hgraph.Attrs{spec.AttrWeight: 2}
+	}
+	for _, c := range []hgraph.ID{"gG1", "gG2", "gG3"} {
+		s.Problem.ClusterByID(c).Attrs = hgraph.Attrs{spec.AttrWeight: 1.5}
+	}
+
+	fmt.Println("== Weighted flexibility (product-family value) ==")
+	r := core.Explore(s, core.Options{Weighted: true})
+	fmt.Print(r.FrontTable(s.Problem.Root.ID))
+	fmt.Printf("\nmaximum family value: %g\n\n", r.MaxFlexibility)
+
+	// --- Tier selection: pick the front points for three price caps. ---
+	fmt.Println("== Tier selection ==")
+	for _, tier := range []struct {
+		name string
+		cap  float64
+	}{{"entry", 150}, {"mid", 300}, {"premium", 500}} {
+		best := pick(r, tier.cap)
+		if best == nil {
+			fmt.Printf("%-8s (<= $%3.0f): no feasible platform\n", tier.name, tier.cap)
+			continue
+		}
+		fmt.Printf("%-8s (<= $%3.0f): $%3.0f, value %4.1f, resources %v\n",
+			tier.name, tier.cap, best.Cost, best.Flexibility, best.Allocation)
+	}
+	fmt.Println()
+
+	// --- Timing-policy ablation on the unweighted case study. ---
+	fmt.Println("== Timing-policy ablation (unweighted) ==")
+	base := models.SetTopBox()
+	fmt.Printf("%-14s | %5s | %s\n", "policy", "front", "(cost,f) pairs")
+	fmt.Println("--------------------------------------------------------------")
+	for _, p := range []bind.TimingPolicy{
+		bind.TimingPaper, bind.TimingLiuLayland, bind.TimingRTA, bind.TimingNone,
+	} {
+		res := core.Explore(base, core.Options{Timing: p})
+		fmt.Printf("%-14v | %5d | %s\n", p, len(res.Front), pairs(res))
+	}
+	fmt.Println()
+	fmt.Println("Reading: exact RTA accepts the game console on uP2 (utilization")
+	fmt.Println("0.77, worst response 185 <= 240), so the cheapest point already")
+	fmt.Println("reaches f=3 — the paper's 69% estimate buys safety margin with")
+	fmt.Println("an extra $20 processor upgrade.")
+}
+
+func pick(r *core.Result, cap float64) *core.Implementation {
+	var best *core.Implementation
+	for _, im := range r.Front {
+		if im.Cost <= cap {
+			best = im
+		}
+	}
+	return best
+}
+
+func pairs(r *core.Result) string {
+	out := ""
+	for i, im := range r.Front {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("(%.0f,%g)", im.Cost, im.Flexibility)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+// Quickstart: model a tiny flexible system, explore its
+// flexibility/cost trade-off, and inspect the result.
+//
+//	go run ./examples/quickstart
+//
+// The system is a sensor node that must support two alternative
+// filtering algorithms (an interface with two clusters) on a platform
+// of a microcontroller and an optional DSP connected by a bus. More
+// implemented alternatives = more flexibility = more cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+func main() {
+	// 1. Behaviour: a hierarchical problem graph. The sampling process
+	//    feeds a filter interface that can be refined by a cheap IIR
+	//    filter or a high-quality FFT filter; both periods are 100 µs.
+	pb := hgraph.NewBuilder("sensor-problem", "top")
+	pb.Root().Vertex("sample")
+	filt := pb.Root().Interface("IFilter",
+		hgraph.Port{Name: "in"}, hgraph.Port{Name: "out", Dir: hgraph.Out})
+	filt.Cluster("iir").Vertex("runIIR", spec.AttrPeriod, 100).
+		Bind("in", "runIIR").Bind("out", "runIIR")
+	filt.Cluster("fft").Vertex("runFFT", spec.AttrPeriod, 100).
+		Bind("in", "runFFT").Bind("out", "runFFT")
+	pb.Root().Vertex("send")
+	pb.Root().PortEdge("sample", "", "IFilter", "in")
+	pb.Root().PortEdge("IFilter", "out", "send", "")
+	problem := pb.MustBuild()
+
+	// 2. Structure: an architecture graph. The MCU is mandatory; a DSP
+	//    can be added via a bus.
+	ab := hgraph.NewBuilder("sensor-arch", "arch")
+	ab.Root().Vertex("MCU", spec.AttrCost, 5)
+	ab.Root().Vertex("DSP", spec.AttrCost, 12)
+	ab.Root().Vertex("BUS", spec.AttrCost, 1, spec.AttrComm, 1)
+	ab.Root().Edge("MCU", "BUS")
+	ab.Root().Edge("BUS", "DSP")
+	arch := ab.MustBuild()
+
+	// 3. Mapping edges: which process can run where, and how fast.
+	s, err := spec.New("sensor", problem, arch, []*spec.Mapping{
+		{Process: "sample", Resource: "MCU", Latency: 10},
+		{Process: "send", Resource: "MCU", Latency: 5},
+		{Process: "runIIR", Resource: "MCU", Latency: 40},
+		{Process: "runIIR", Resource: "DSP", Latency: 8},
+		{Process: "runFFT", Resource: "DSP", Latency: 30}, // too heavy for the MCU
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Explore the flexibility/cost design space.
+	result := core.Explore(s, core.Options{})
+	fmt.Printf("max flexibility: %g\n\n", result.MaxFlexibility)
+	fmt.Print(result.FrontTable(problem.Root.ID))
+
+	// 5. Inspect the richest implementation: which behaviours does it
+	//    support, and how are they bound?
+	best := result.Front[len(result.Front)-1]
+	fmt.Printf("\nrichest implementation %v:\n", best)
+	for _, b := range best.Behaviours {
+		fmt.Printf("  behaviour %-28s binding %v\n", b.ECS, b.Binding)
+	}
+
+	// 6. Specifications serialize to JSON for tooling.
+	fmt.Println("\nJSON model (excerpt):")
+	if err := s.Write(limitedWriter{}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// limitedWriter prints only the first few lines of the JSON document.
+type limitedWriter struct{}
+
+func (limitedWriter) Write(p []byte) (int, error) {
+	const maxBytes = 400
+	if len(p) > maxBytes {
+		os.Stdout.Write(p[:maxBytes])
+		fmt.Println("\n  ...")
+		return len(p), nil
+	}
+	return os.Stdout.Write(p)
+}

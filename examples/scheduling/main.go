@@ -1,0 +1,90 @@
+// Static scheduling of implemented behaviours — the paper's future
+// work, made concrete.
+//
+//	go run ./examples/scheduling
+//
+// For the $360 Set-Top box (μP2 + ASIC A1), every implemented behaviour
+// is compiled into a static non-preemptive schedule: Gantt charts show
+// how the list scheduler overlaps the processor and the ASIC, and the
+// schedule-based acceptance test is compared against the paper's 69 %
+// utilization estimate for the behaviours the estimate rejects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/listsched"
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+func main() {
+	s := models.SetTopBox()
+	alloc := spec.NewAllocation("uP2", "A1", "C2")
+	im := core.Implement(s, alloc, core.Options{AllBehaviours: true}, nil)
+	if im == nil {
+		log.Fatal("allocation should implement")
+	}
+	fmt.Printf("implementation %v (f=%g), %d behaviours\n\n", im.Allocation, im.Flexibility, len(im.Behaviours))
+
+	for _, beh := range im.Behaviours {
+		fp, err := s.Problem.Flatten(beh.ECS.Selection)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sch, err := listsched.Build(s, fp, beh.Binding)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := listsched.Validate(s, fp, beh.Binding, sch); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("behaviour %s  (makespan %g, meets periods: %v)\n",
+			beh.ECS, sch.Makespan, listsched.MeetsPeriods(s, fp, sch))
+		fmt.Print(listsched.Gantt(sch, 60))
+		fmt.Println()
+	}
+
+	// Where the estimate and the schedule disagree: the game console on
+	// μP2 alone exceeds the 69 % bound but its static schedule fits the
+	// 240 ns frame period.
+	fmt.Println("== Utilization estimate vs static schedule (game on uP2) ==")
+	fpG, err := s.Problem.Flatten(hgraph.Selection{"IApp": "gG", "IG": "gG1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	av, err := s.ArchViewFor(spec.NewAllocation("uP2"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := bind.Find(s, fpG, av, bind.Options{Timing: bind.TimingPaper}); ok {
+		log.Fatal("the 69% estimate should reject the game on uP2")
+	}
+	res, ok := bind.Find(s, fpG, av, bind.Options{Timing: bind.TimingNone})
+	if !ok {
+		log.Fatal("binding exists structurally")
+	}
+	sch, err := listsched.Build(s, fpG, res.Binding)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("utilization (PG1+PD)/240 = %.3f > 0.69      -> estimate rejects\n", (95.0+90)/240)
+	fmt.Printf("static schedule timed span %g <= period 240 -> schedule accepts\n", timedSpan(s, sch))
+	fmt.Print(listsched.Gantt(sch, 60))
+	fmt.Println("\nThe paper's estimate is deliberately conservative; the scheduler")
+	fmt.Println("(its declared future work) recovers the lost design point.")
+}
+
+func timedSpan(s *spec.Spec, sch *listsched.Schedule) float64 {
+	span := 0.0
+	for _, e := range sch.Entries {
+		if s.Period(e.Process) > 0 && e.Finish > span {
+			span = e.Finish
+		}
+	}
+	return span
+}

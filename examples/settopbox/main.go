@@ -1,0 +1,83 @@
+// Set-Top box walkthrough: the paper's Section 5 case study driven
+// through the public API, following the text step by step.
+//
+//	go run ./examples/settopbox
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/flex"
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+func main() {
+	s := models.SetTopBox()
+
+	// --- The specification (Figs. 3 and 5, Table 1). ---
+	fmt.Println("== Specification ==")
+	pv, pi, pc, _ := s.Problem.ElementCount()
+	av, ai, ac, _ := s.Arch.ElementCount()
+	fmt.Printf("problem graph : %d processes, %d interfaces, %d clusters\n", pv, pi, pc)
+	fmt.Printf("architecture  : %d resources, %d interfaces, %d designs\n", av, ai, ac)
+	fmt.Printf("mapping edges : %d (Table 1)\n", len(s.Mappings))
+	units := alloc.Units(s)
+	fmt.Printf("search space  : 2^(%d units + %d clusters) = 2^25 design points\n\n",
+		len(units), pc)
+
+	// --- Flexibility of the problem graph (Fig. 3's worked example). ---
+	fmt.Println("== Flexibility (Definition 4) ==")
+	fmt.Printf("f(G_P) with all clusters activatable : %g\n",
+		flex.MaxFlexibility(s.Problem))
+	fmt.Printf("f(G_P) without the game cluster      : %g\n\n",
+		flex.Flexibility(s.Problem, flex.Except(flex.AllActive, "gG")))
+
+	// --- The paper's worked feasibility analysis of candidate μP2. ---
+	fmt.Println("== First candidate: uP2 alone ==")
+	limit := sched.PaperUtilizationLimit
+	fmt.Printf("digital TV  (PD1+PU1 on uP2): (95+45)/300 = %.3f <= %.2f  -> accepted\n",
+		(95.0+45)/300, limit)
+	fmt.Printf("game console (PG1+PD on uP2): (95+90)/240 = %.3f >  %.2f  -> rejected\n",
+		(95.0+90)/240, limit)
+	im := core.Implement(s, spec.NewAllocation("uP2"), core.Options{}, nil)
+	fmt.Printf("implemented flexibility of {uP2}: %g (paper: 2)\n\n", im.Flexibility)
+
+	// --- Full exploration: the published Pareto table. ---
+	fmt.Println("== EXPLORE: Pareto-optimal set ==")
+	r := core.Explore(s, core.Options{})
+	fmt.Print(r.FrontTable(s.Problem.Root.ID))
+	st := r.Stats
+	fmt.Printf("\npruning: %.0f design points -> %d possible allocations -> %d implementation attempts\n",
+		st.DesignSpace, st.PossibleAllocations, st.Attempted)
+	fmt.Printf("(%0.4f%% of the design space needed the NP-complete binding solver)\n\n",
+		100*float64(st.Attempted)/st.DesignSpace)
+
+	// --- What each Pareto step buys. ---
+	fmt.Println("== Marginal cost of flexibility ==")
+	for i := 1; i < len(r.Front); i++ {
+		dc := r.Front[i].Cost - r.Front[i-1].Cost
+		df := r.Front[i].Flexibility - r.Front[i-1].Flexibility
+		fmt.Printf("f %g -> %g : +$%.0f (%.0f$/flexibility unit)  adds %s\n",
+			r.Front[i-1].Flexibility, r.Front[i].Flexibility, dc, dc/df,
+			diffClusters(r.Front[i-1], r.Front[i]))
+	}
+}
+
+func diffClusters(a, b *core.Implementation) string {
+	have := map[string]bool{}
+	for _, c := range a.Clusters {
+		have[string(c)] = true
+	}
+	var added []string
+	for _, c := range b.Clusters {
+		if !have[string(c)] {
+			added = append(added, string(c))
+		}
+	}
+	return strings.Join(added, ",")
+}

@@ -1,0 +1,351 @@
+// Package alloc implements the paper's first search-space reduction:
+// the enumeration of possible resource allocations in order of
+// increasing allocation cost.
+//
+// A possible resource allocation is a partial allocation of resources
+// in the architecture graph which allows the implementation of at least
+// one feasible problem-graph activation while neglecting the
+// feasibility of binding: every leaf of at least one elementary cluster
+// activation must have a mapping edge into the allocation, and the
+// always-activated top level of the problem graph must be coverable.
+// Following the paper, only leaves of the top-level architecture graph
+// and whole architecture clusters are allocatable units.
+//
+// Enumeration is lazy: subsets of the allocatable units are generated
+// in nondecreasing total cost through a binary heap (extend/replace
+// children, each subset generated exactly once), so the exploration can
+// stop early without touching the full 2^n space.
+package alloc
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// Unit is an allocatable architecture element: a leaf vertex of the
+// top-level architecture graph or a whole architecture cluster.
+type Unit struct {
+	ID   hgraph.ID
+	Cost float64
+	// Comm marks a pure communication unit (a bus vertex).
+	Comm bool
+	// Resources are the leaf resources the unit provides.
+	Resources []hgraph.ID
+}
+
+// Units returns the allocatable units of the specification, sorted by
+// cost (ties by ID). Clusters nested below other clusters are not
+// separate units — allocating the outer cluster allocates them; only
+// clusters of interfaces reachable from the architecture root through
+// vertices/interfaces of enclosing *allocated* scopes would need them,
+// and the paper's models (and ours) keep reconfigurable interfaces at
+// the top level.
+func Units(s *spec.Spec) []Unit {
+	var out []Unit
+	for _, v := range s.Arch.Root.Vertices {
+		out = append(out, Unit{
+			ID:        v.ID,
+			Cost:      v.Attrs.GetDefault(spec.AttrCost, 0),
+			Comm:      s.IsComm(v.ID),
+			Resources: []hgraph.ID{v.ID},
+		})
+	}
+	for _, i := range s.Arch.Root.Interfaces {
+		for _, c := range i.Clusters {
+			u := Unit{ID: c.ID, Cost: c.Attrs.GetDefault(spec.AttrCost, 0)}
+			for _, lv := range s.Arch.LeavesOf(c) {
+				u.Cost += lv.Attrs.GetDefault(spec.AttrCost, 0)
+				u.Resources = append(u.Resources, lv.ID)
+			}
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Cost != out[b].Cost {
+			return out[a].Cost < out[b].Cost
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// SupportableClusters returns the problem-graph clusters that remain
+// activatable when the architecture is restricted to the given
+// allocation, ignoring binding feasibility: a cluster is supportable
+// iff each of its own vertices has at least one mapping edge into the
+// allocation's resources and each of its interfaces has at least one
+// supportable cluster, along the reachable hierarchy. The root is
+// included when supportable. This set drives the paper's flexibility
+// estimation.
+func SupportableClusters(s *spec.Spec, a spec.Allocation) map[hgraph.ID]bool {
+	avail := a.ResourceSet(s)
+	memo := map[hgraph.ID]bool{}
+	var ok func(c *hgraph.Cluster) bool
+	ok = func(c *hgraph.Cluster) bool {
+		if v, seen := memo[c.ID]; seen {
+			return v
+		}
+		res := true
+		for _, v := range c.Vertices {
+			reachable := false
+			for _, m := range s.MappingsFor(v.ID) {
+				if avail[m.Resource] {
+					reachable = true
+					break
+				}
+			}
+			if !reachable {
+				res = false
+				break
+			}
+		}
+		if res {
+			for _, i := range c.Interfaces {
+				any := false
+				for _, sub := range i.Clusters {
+					if ok(sub) {
+						any = true
+					}
+				}
+				if !any {
+					res = false
+					break
+				}
+			}
+		}
+		memo[c.ID] = res
+		return res
+	}
+	out := map[hgraph.ID]bool{}
+	var mark func(c *hgraph.Cluster)
+	mark = func(c *hgraph.Cluster) {
+		if !ok(c) {
+			return
+		}
+		out[c.ID] = true
+		for _, i := range c.Interfaces {
+			for _, sub := range i.Clusters {
+				mark(sub)
+			}
+		}
+	}
+	mark(s.Problem.Root)
+	return out
+}
+
+// Possible reports whether the allocation is a possible resource
+// allocation: the problem root must be supportable (rule 4 — all
+// top-level vertices and interfaces are required).
+func Possible(s *spec.Spec, a spec.Allocation) bool {
+	return SupportableClusters(s, a)[s.Problem.Root.ID]
+}
+
+// Options configures the enumeration.
+type Options struct {
+	// IncludeUselessComm keeps allocations containing buses that
+	// connect fewer than two allocated functional units. The paper's
+	// Fig. 2 example lists such supersets (μP C1, ...); the case study
+	// leaves them out as obviously non-Pareto-optimal.
+	IncludeUselessComm bool
+	// MaxScan bounds the number of subsets scanned (0 = unbounded).
+	MaxScan int
+}
+
+// Stats reports enumeration effort.
+type Stats struct {
+	// Scanned counts subsets generated in cost order.
+	Scanned int
+	// Possible counts subsets that passed the possibility test and were
+	// yielded to the callback.
+	Possible int
+	// PrunedComm counts subsets skipped by the useless-bus rule.
+	PrunedComm int
+	// SearchSpace is 2^(number of units), the size of the unreduced
+	// allocation space.
+	SearchSpace float64
+}
+
+// Candidate is one possible resource allocation with its cost.
+type Candidate struct {
+	Allocation spec.Allocation
+	Cost       float64
+}
+
+// Enumerate generates possible resource allocations in nondecreasing
+// cost order and passes each to fn until fn returns false or the space
+// is exhausted. It returns enumeration statistics.
+func Enumerate(s *spec.Spec, opts Options, fn func(Candidate) bool) Stats {
+	units := Units(s)
+	stats := Stats{SearchSpace: pow2(len(units))}
+	commAdj := commAdjacency(s, units)
+
+	h := &subsetHeap{}
+	heap.Init(h)
+	if len(units) > 0 {
+		heap.Push(h, subset{cost: units[0].Cost, idx: []int{0}})
+	}
+	// The empty allocation is scanned first (never possible for a
+	// problem graph with vertices, but counted for fidelity).
+	stats.Scanned++
+	if emptyPossible(s) {
+		stats.Possible++
+		if !fn(Candidate{Allocation: spec.Allocation{}, Cost: 0}) {
+			return stats
+		}
+	}
+	for h.Len() > 0 {
+		if opts.MaxScan > 0 && stats.Scanned >= opts.MaxScan {
+			break
+		}
+		cur := heap.Pop(h).(subset)
+		stats.Scanned++
+		m := cur.idx[len(cur.idx)-1]
+		if m+1 < len(units) {
+			ext := append(append([]int(nil), cur.idx...), m+1)
+			heap.Push(h, subset{cost: cur.cost + units[m+1].Cost, idx: ext})
+			rep := append([]int(nil), cur.idx...)
+			rep[len(rep)-1] = m + 1
+			heap.Push(h, subset{cost: cur.cost - units[m].Cost + units[m+1].Cost, idx: rep})
+		}
+		a := spec.Allocation{}
+		for _, k := range cur.idx {
+			a[units[k].ID] = true
+		}
+		if !opts.IncludeUselessComm && hasUselessComm(units, cur.idx, a, commAdj) {
+			stats.PrunedComm++
+			continue
+		}
+		if !Possible(s, a) {
+			continue
+		}
+		stats.Possible++
+		if !fn(Candidate{Allocation: a, Cost: cur.cost}) {
+			break
+		}
+	}
+	return stats
+}
+
+// All materializes every possible resource allocation (cost-ordered).
+// Prefer Enumerate for large unit sets.
+func All(s *spec.Spec, opts Options) ([]Candidate, Stats) {
+	var out []Candidate
+	stats := Enumerate(s, opts, func(c Candidate) bool {
+		out = append(out, Candidate{Allocation: c.Allocation.Clone(), Cost: c.Cost})
+		return true
+	})
+	return out, stats
+}
+
+func emptyPossible(s *spec.Spec) bool {
+	return Possible(s, spec.Allocation{})
+}
+
+func pow2(n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= 2
+	}
+	return out
+}
+
+// subset is a heap node: unit indices (sorted ascending) and total cost.
+type subset struct {
+	cost float64
+	idx  []int
+}
+
+type subsetHeap []subset
+
+func (h subsetHeap) Len() int { return len(h) }
+
+// Less orders by total cost; equal-cost subsets are ordered
+// deterministically by descending lexicographic index sequence. The
+// paper does not define an order among equal-cost allocations (its
+// published case-study representative at $230 is one of three equal
+// optima); this tie-break is fixed so results are reproducible and
+// happens to select the published representative.
+func (h subsetHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	a, b := h[i].idx, h[j].idx
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] > b[k]
+		}
+	}
+	return len(a) > len(b)
+}
+func (h subsetHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *subsetHeap) Push(x any)   { *h = append(*h, x.(subset)) }
+func (h *subsetHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// commAdjacency maps each top-level communication vertex to the set of
+// unit IDs it touches in the architecture graph (interface endpoints
+// count as all clusters of the interface).
+func commAdjacency(s *spec.Spec, units []Unit) map[hgraph.ID]map[hgraph.ID]bool {
+	unitByID := map[hgraph.ID]bool{}
+	for _, u := range units {
+		unitByID[u.ID] = true
+	}
+	adj := map[hgraph.ID]map[hgraph.ID]bool{}
+	touch := func(comm hgraph.ID, other hgraph.ID) {
+		if adj[comm] == nil {
+			adj[comm] = map[hgraph.ID]bool{}
+		}
+		adj[comm][other] = true
+	}
+	endpoints := func(id hgraph.ID) []hgraph.ID {
+		if unitByID[id] {
+			return []hgraph.ID{id}
+		}
+		if i := s.Arch.InterfaceByID(id); i != nil {
+			var out []hgraph.ID
+			for _, c := range i.Clusters {
+				if unitByID[c.ID] {
+					out = append(out, c.ID)
+				}
+			}
+			return out
+		}
+		return nil
+	}
+	for _, e := range s.Arch.Root.Edges {
+		for _, x := range endpoints(e.From) {
+			for _, y := range endpoints(e.To) {
+				if s.IsComm(x) && !s.IsComm(y) {
+					touch(x, y)
+				}
+				if s.IsComm(y) && !s.IsComm(x) {
+					touch(y, x)
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// hasUselessComm reports whether the allocation contains a bus unit
+// that connects fewer than two allocated functional units.
+func hasUselessComm(units []Unit, idx []int, a spec.Allocation, adj map[hgraph.ID]map[hgraph.ID]bool) bool {
+	for _, k := range idx {
+		u := units[k]
+		if !u.Comm {
+			continue
+		}
+		n := 0
+		for other := range adj[u.ID] {
+			if a[other] {
+				n++
+			}
+		}
+		if n < 2 {
+			return true
+		}
+	}
+	return false
+}

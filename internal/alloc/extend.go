@@ -1,0 +1,79 @@
+package alloc
+
+import (
+	"container/heap"
+
+	"repro/internal/spec"
+)
+
+// EnumerateExtensions generates possible resource allocations that are
+// supersets of base, in nondecreasing total cost, and passes each to fn
+// until fn returns false. It supports incremental platform design: the
+// deployed allocation is never shrunk, only extended. base itself is
+// the first candidate when it is possible.
+func EnumerateExtensions(s *spec.Spec, base spec.Allocation, opts Options, fn func(Candidate) bool) Stats {
+	all := Units(s)
+	var units []Unit
+	baseCost := 0.0
+	for _, u := range all {
+		if base[u.ID] {
+			baseCost += u.Cost
+		} else {
+			units = append(units, u)
+		}
+	}
+	stats := Stats{SearchSpace: pow2(len(units))}
+	commAdj := commAdjacency(s, all)
+
+	emit := func(extra []int, cost float64) bool {
+		a := base.Clone()
+		for _, k := range extra {
+			a[units[k].ID] = true
+		}
+		stats.Scanned++
+		if !opts.IncludeUselessComm {
+			idx := make([]int, 0, len(a))
+			for i, u := range all {
+				if a[u.ID] {
+					idx = append(idx, i)
+				}
+			}
+			if hasUselessComm(all, idx, a, commAdj) {
+				stats.PrunedComm++
+				return true
+			}
+		}
+		if !Possible(s, a) {
+			return true
+		}
+		stats.Possible++
+		return fn(Candidate{Allocation: a, Cost: cost})
+	}
+
+	if !emit(nil, baseCost) {
+		return stats
+	}
+	h := &subsetHeap{}
+	heap.Init(h)
+	if len(units) > 0 {
+		heap.Push(h, subset{cost: units[0].Cost, idx: []int{0}})
+	}
+	for h.Len() > 0 {
+		if opts.MaxScan > 0 && stats.Scanned >= opts.MaxScan {
+			break
+		}
+		cur := heap.Pop(h).(subset)
+		m := cur.idx[len(cur.idx)-1]
+		if m+1 < len(units) {
+			ext := append(append([]int(nil), cur.idx...), m+1)
+			heap.Push(h, subset{cost: cur.cost + units[m+1].Cost, idx: ext})
+			rep := append([]int(nil), cur.idx...)
+			rep[len(rep)-1] = m + 1
+			heap.Push(h, subset{cost: cur.cost - units[m].Cost + units[m+1].Cost, idx: rep})
+		}
+		if !emit(cur.idx, baseCost+cur.cost) {
+			break
+		}
+	}
+	return stats
+}

@@ -1,0 +1,108 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestEnumerateExtensionsBaseFirst(t *testing.T) {
+	s := buildFig2(t)
+	base := spec.NewAllocation("uP")
+	var first *Candidate
+	n := 0
+	EnumerateExtensions(s, base, Options{}, func(c Candidate) bool {
+		if first == nil {
+			cl := Candidate{Allocation: c.Allocation.Clone(), Cost: c.Cost}
+			first = &cl
+		}
+		if !base.Subset(c.Allocation) {
+			t.Errorf("extension %v drops the base", c.Allocation)
+		}
+		n++
+		return true
+	})
+	if first == nil || !first.Allocation.Equal(base) || first.Cost != 50 {
+		t.Errorf("first extension = %v, want the base itself at 50", first)
+	}
+	if n < 2 {
+		t.Errorf("extensions = %d, want several", n)
+	}
+}
+
+func TestEnumerateExtensionsCostOrderAndPruning(t *testing.T) {
+	s := buildFig2(t)
+	base := spec.NewAllocation("uP")
+	prev := -1.0
+	seen := map[string]bool{}
+	stats := EnumerateExtensions(s, base, Options{}, func(c Candidate) bool {
+		if c.Cost < prev {
+			t.Errorf("cost order violated: %v after %v", c.Cost, prev)
+		}
+		prev = c.Cost
+		if got := c.Allocation.Cost(s); got != c.Cost {
+			t.Errorf("cost mismatch for %v: %v vs %v", c.Allocation, c.Cost, got)
+		}
+		seen[c.Allocation.String()] = true
+		return true
+	})
+	if seen["{C1 uP}"] {
+		t.Error("useless bus extension should be pruned")
+	}
+	if !seen["{C1 dD3 uP}"] {
+		t.Error("useful bus extension missing")
+	}
+	if stats.PrunedComm == 0 {
+		t.Error("pruning counter should be non-zero")
+	}
+}
+
+func TestEnumerateExtensionsImpossibleBase(t *testing.T) {
+	s := buildFig2(t)
+	// Base without the processor: the base itself is impossible, but
+	// extensions adding uP become possible.
+	base := spec.NewAllocation("A", "C2")
+	var cands []string
+	EnumerateExtensions(s, base, Options{}, func(c Candidate) bool {
+		cands = append(cands, c.Allocation.String())
+		return true
+	})
+	if len(cands) == 0 {
+		t.Fatal("extensions adding uP must appear")
+	}
+	if cands[0] != "{A C2 uP}" {
+		t.Errorf("first possible extension = %s, want {A C2 uP}", cands[0])
+	}
+}
+
+func TestEnumerateExtensionsMaxScanAndEarlyStop(t *testing.T) {
+	s := buildFig2(t)
+	stats := EnumerateExtensions(s, spec.NewAllocation("uP"), Options{MaxScan: 3}, func(Candidate) bool { return true })
+	if stats.Scanned > 3 {
+		t.Errorf("MaxScan exceeded: %d", stats.Scanned)
+	}
+	n := 0
+	EnumerateExtensions(s, spec.NewAllocation("uP"), Options{}, func(Candidate) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("early stop yielded %d", n)
+	}
+}
+
+func TestEnumerateExtensionsFullBase(t *testing.T) {
+	s := buildFig2(t)
+	full := spec.NewAllocation("uP", "A", "C1", "C2", "dD3", "dU2")
+	n := 0
+	EnumerateExtensions(s, full, Options{IncludeUselessComm: true}, func(c Candidate) bool {
+		if !c.Allocation.Equal(full) {
+			t.Errorf("unexpected extension %v of the full base", c.Allocation)
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Errorf("full base should yield exactly itself, got %d", n)
+	}
+}

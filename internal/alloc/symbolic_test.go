@@ -1,0 +1,140 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+func TestSymbolicCountMatchesEnumeration(t *testing.T) {
+	s := buildFig2(t)
+	// Enumeration with supersets kept found 32 possible allocations.
+	if got := CountPossible(s); got != 32 {
+		t.Errorf("CountPossible = %v, want 32", got)
+	}
+}
+
+func TestSymbolicCountCaseStudy(t *testing.T) {
+	// The Set-Top box: the upward closure of {a processor} over 14
+	// units = 3/4 of 2^14, matching the scanned enumeration (E7).
+	s := models.SetTopBox()
+	if got := CountPossible(s); got != 12288 {
+		t.Errorf("CountPossible(settop) = %v, want 12288", got)
+	}
+}
+
+func TestSymbolicAgreesWithPossible(t *testing.T) {
+	s := buildFig2(t)
+	m, f, units := Symbolic(s)
+	// Exhaustively compare the BDD against the procedural test.
+	asg := make([]bool, len(units))
+	for mask := 0; mask < 1<<len(units); mask++ {
+		a := spec.Allocation{}
+		for i := range units {
+			asg[i] = mask&(1<<i) != 0
+			if asg[i] {
+				a[units[i].ID] = true
+			}
+		}
+		if m.Eval(f, asg) != Possible(s, a) {
+			t.Fatalf("BDD and Possible disagree on %v", a)
+		}
+	}
+}
+
+func TestCheapestPossible(t *testing.T) {
+	s := buildFig2(t)
+	a, cost, ok := CheapestPossible(s)
+	if !ok {
+		t.Fatal("possible allocation exists")
+	}
+	if cost != 50 || !a.Equal(spec.NewAllocation("uP")) {
+		t.Errorf("cheapest = %v at %v, want {uP} at 50", a, cost)
+	}
+
+	st := models.SetTopBox()
+	a2, cost2, ok := CheapestPossible(st)
+	if !ok || cost2 != 100 || !a2.Equal(spec.NewAllocation("uP2")) {
+		t.Errorf("cheapest settop = %v at %v, want {uP2} at 100", a2, cost2)
+	}
+}
+
+func TestCheapestPossibleUnsat(t *testing.T) {
+	// A process with no mapping edge makes every allocation impossible.
+	s := buildFig2(t).Clone()
+	var kept []*spec.Mapping
+	for _, m := range s.Mappings {
+		if m.Process != "PA" {
+			kept = append(kept, m)
+		}
+	}
+	s2 := spec.MustNew("nopa", s.Problem, s.Arch, kept)
+	if _, _, ok := CheapestPossible(s2); ok {
+		t.Error("unbindable PA must make the constraint unsatisfiable")
+	}
+	if got := CountPossible(s2); got != 0 {
+		t.Errorf("CountPossible = %v, want 0", got)
+	}
+}
+
+// Property: on synthetic models, the symbolic count equals the
+// enumeration count (with supersets kept).
+func TestPropSymbolicMatchesEnumeration(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := models.SyntheticParams{
+			Seed: seed % 60, Apps: 2, Depth: 1, Branch: 2, Vertices: 1,
+			Processors: 1, ASICs: 1, Designs: 2, Buses: 2,
+			AccelOnlyFraction: 0.4,
+		}
+		s := models.Synthetic(p)
+		n := 0
+		Enumerate(s, Options{IncludeUselessComm: true}, func(Candidate) bool {
+			n++
+			return true
+		})
+		return CountPossible(s) == float64(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the cheapest symbolic allocation matches the first
+// candidate of the cost-ordered enumeration.
+func TestPropCheapestMatchesEnumeration(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := models.SyntheticParams{
+			Seed: seed % 60, Apps: 2, Depth: 1, Branch: 2, Vertices: 2,
+			Processors: 2, ASICs: 1, Designs: 1, Buses: 2,
+			AccelOnlyFraction: 0.3,
+		}
+		s := models.Synthetic(p)
+		var firstCost float64
+		found := false
+		Enumerate(s, Options{IncludeUselessComm: true}, func(c Candidate) bool {
+			firstCost = c.Cost
+			found = true
+			return false
+		})
+		_, cost, ok := CheapestPossible(s)
+		if !found {
+			return !ok
+		}
+		return ok && cost == firstCost
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSymbolicCount(b *testing.B) {
+	s := models.SetTopBox()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if CountPossible(s) != 12288 {
+			b.Fatal("wrong count")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package bind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+func TestFindMinLatencyBeatsFirstFeasible(t *testing.T) {
+	s := buildFig2(t)
+	alloc := spec.NewAllocation("uP", "A", "C2")
+	fp, av := flatAndView(t, s, "gD1", "gU1", alloc, nil)
+	first, ok := Find(s, fp, av, Options{})
+	if !ok {
+		t.Fatal("feasible")
+	}
+	best, ok := FindMinLatency(s, fp, av, Options{})
+	if !ok {
+		t.Fatal("optimum exists")
+	}
+	if err := Check(s, fp, av, best.Binding, Options{}); err != nil {
+		t.Fatalf("optimal binding invalid: %v", err)
+	}
+	if TotalLatency(s, best.Binding) > TotalLatency(s, first.Binding) {
+		t.Errorf("optimum %v (%v) worse than first feasible %v (%v)",
+			best.Binding, TotalLatency(s, best.Binding),
+			first.Binding, TotalLatency(s, first.Binding))
+	}
+	// Optimal: PA 55 + PC 10 on uP, PD1 25 + PU1 15 on A = 105.
+	if got := TotalLatency(s, best.Binding); got != 105 {
+		t.Errorf("optimal latency = %v, want 105", got)
+	}
+}
+
+func TestFindMinLatencyInfeasible(t *testing.T) {
+	s := buildFig2(t)
+	fp, av := flatAndView(t, s, "gD2", "gU2", spec.NewAllocation("uP"), nil)
+	if _, ok := FindMinLatency(s, fp, av, Options{}); ok {
+		t.Error("PD2 unbindable on uP alone")
+	}
+}
+
+func TestFindMinLatencyRespectsTiming(t *testing.T) {
+	// The fastest resource may be timing-saturated; the optimizer must
+	// route around it.
+	pb := hgraph.NewBuilder("p", "pt")
+	pb.Root().Vertex("T1", spec.AttrPeriod, 100).Vertex("T2", spec.AttrPeriod, 100)
+	prob := pb.MustBuild()
+	ab := hgraph.NewBuilder("a", "at")
+	ab.Root().Vertex("FAST", spec.AttrCost, 10)
+	ab.Root().Vertex("SLOW", spec.AttrCost, 10)
+	ab.Root().Vertex("B", spec.AttrCost, 1, spec.AttrComm, 1)
+	ab.Root().Edge("FAST", "B")
+	ab.Root().Edge("B", "SLOW")
+	arch := ab.MustBuild()
+	s := spec.MustNew("t", prob, arch, []*spec.Mapping{
+		{Process: "T1", Resource: "FAST", Latency: 40},
+		{Process: "T1", Resource: "SLOW", Latency: 60},
+		{Process: "T2", Resource: "FAST", Latency: 40},
+		{Process: "T2", Resource: "SLOW", Latency: 60},
+	})
+	fp, err := s.Problem.Flatten(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := s.ArchViewFor(spec.NewAllocation("FAST", "SLOW", "B"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both on FAST: (40+40)/100 = 0.8 > 0.69 — one must take SLOW.
+	best, ok := FindMinLatency(s, fp, av, Options{})
+	if !ok {
+		t.Fatal("feasible split exists")
+	}
+	if got := TotalLatency(s, best.Binding); got != 100 {
+		t.Errorf("optimal latency = %v, want 40+60 = 100", got)
+	}
+}
+
+// Property: FindMinLatency output is valid and no brute-force
+// enumeration finds a cheaper feasible binding.
+func TestPropMinLatencyOptimal(t *testing.T) {
+	s := buildFig2(t)
+	ds := []string{"gD1", "gD2", "gD3"}
+	us := []string{"gU1", "gU2"}
+	elems := []hgraph.ID{"uP", "A", "C1", "C2", "dD3", "dU2"}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alloc := spec.Allocation{}
+		for _, e := range elems {
+			if rng.Intn(2) == 0 {
+				alloc[e] = true
+			}
+		}
+		d, u := ds[rng.Intn(3)], us[rng.Intn(2)]
+		fp, err := s.Problem.Flatten(hgraph.Selection{"IfD": hgraph.ID(d), "IfU": hgraph.ID(u)})
+		if err != nil {
+			return false
+		}
+		ok := true
+		alloc.EnumerateArchSelections(s, func(sel hgraph.Selection) bool {
+			av, err := s.ArchViewFor(alloc, sel)
+			if err != nil {
+				ok = false
+				return false
+			}
+			best, feasible := FindMinLatency(s, fp, av, Options{})
+			// Brute force over all bindings.
+			bruteBest := -1.0
+			var assign func(k int, cur Binding)
+			assign = func(k int, cur Binding) {
+				if k == len(fp.Vertices) {
+					if Check(s, fp, av, cur, Options{}) == nil {
+						tot := TotalLatency(s, cur)
+						if bruteBest < 0 || tot < bruteBest {
+							bruteBest = tot
+						}
+					}
+					return
+				}
+				p := fp.Vertices[k].ID
+				for _, m := range s.MappingsFor(p) {
+					if av.Present(m.Resource) {
+						cur[p] = m.Resource
+						assign(k+1, cur)
+						delete(cur, p)
+					}
+				}
+			}
+			assign(0, Binding{})
+			if feasible != (bruteBest >= 0) {
+				ok = false
+				return false
+			}
+			if feasible && TotalLatency(s, best.Binding) != bruteBest {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFindMinLatency(b *testing.B) {
+	s := buildFig2(b)
+	alloc := spec.NewAllocation("uP", "A", "C1", "C2", "dD3", "dU2")
+	fp, err := s.Problem.Flatten(hgraph.Selection{"IfD": "gD1", "IfU": "gU2"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	av, err := s.ArchViewFor(alloc, hgraph.Selection{"FPGA": "dU2"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindMinLatency(s, fp, av, Options{})
+	}
+}

@@ -1,0 +1,304 @@
+package boolfunc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantsAndVars(t *testing.T) {
+	m := NewManager(3)
+	if m.Eval(m.True(), []bool{false, false, false}) != true {
+		t.Error("True misbehaves")
+	}
+	if m.Eval(m.False(), []bool{true, true, true}) != false {
+		t.Error("False misbehaves")
+	}
+	x := m.Var(1)
+	if !m.Eval(x, []bool{false, true, false}) || m.Eval(x, []bool{true, false, true}) {
+		t.Error("Var(1) misbehaves")
+	}
+	nx := m.NotVar(1)
+	if m.Eval(nx, []bool{false, true, false}) || !m.Eval(nx, []bool{true, false, true}) {
+		t.Error("NotVar(1) misbehaves")
+	}
+	if m.NumVars() != 3 {
+		t.Error("NumVars")
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := NewManager(2)
+	x, y := m.Var(0), m.Var(1)
+	// De Morgan: x ∨ y == ¬(¬x ∧ ¬y), as pointer equality.
+	a := m.Apply(Or, x, y)
+	b := m.Not(m.Apply(And, m.Not(x), m.Not(y)))
+	if a != b {
+		t.Error("equivalent functions are not the same node")
+	}
+	// x ⊕ x == false
+	if m.Apply(Xor, x, x) != m.False() {
+		t.Error("x xor x != false")
+	}
+	// x ∧ ¬x == false, x ∨ ¬x == true
+	if m.Apply(And, x, m.Not(x)) != m.False() {
+		t.Error("x and not x")
+	}
+	if m.Apply(Or, x, m.Not(x)) != m.True() {
+		t.Error("x or not x")
+	}
+	if m.Apply(Diff, x, x) != m.False() {
+		t.Error("x diff x")
+	}
+}
+
+func TestSatCountSimple(t *testing.T) {
+	m := NewManager(3)
+	x, y := m.Var(0), m.Var(1)
+	cases := []struct {
+		n    *Node
+		want float64
+	}{
+		{m.True(), 8},
+		{m.False(), 0},
+		{x, 4},
+		{m.Apply(And, x, y), 2},
+		{m.Apply(Or, x, y), 6},
+		{m.Apply(Xor, x, y), 4},
+	}
+	for i, c := range cases {
+		if got := m.SatCount(c.n); got != c.want {
+			t.Errorf("case %d: SatCount = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := NewManager(2)
+	x, y := m.Var(0), m.Var(1)
+	f := m.Apply(And, x, y)
+	if m.Restrict(f, 0, true) != y {
+		t.Error("(x∧y)|x=1 should be y")
+	}
+	if m.Restrict(f, 0, false) != m.False() {
+		t.Error("(x∧y)|x=0 should be false")
+	}
+	if m.Restrict(f, 1, true) != x {
+		t.Error("(x∧y)|y=1 should be x")
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m := NewManager(3)
+	f := m.AndAll(m.Var(0), m.NotVar(1), m.Var(2))
+	sat := m.AnySat(f)
+	if sat == nil || !m.Eval(f, sat) {
+		t.Fatalf("AnySat = %v", sat)
+	}
+	if !sat[0] || sat[1] || !sat[2] {
+		t.Errorf("AnySat = %v, want [true false true]", sat)
+	}
+	if m.AnySat(m.False()) != nil {
+		t.Error("AnySat(false) should be nil")
+	}
+}
+
+func TestMinCostSat(t *testing.T) {
+	m := NewManager(3)
+	// f = (x0 ∨ x1) ∧ x2; costs 5, 3, 2.
+	f := m.Apply(And, m.Apply(Or, m.Var(0), m.Var(1)), m.Var(2))
+	asg, cost, ok := m.MinCostSat(f, []float64{5, 3, 2})
+	if !ok {
+		t.Fatal("satisfiable function reported unsat")
+	}
+	if cost != 5 { // x1 + x2 = 3 + 2
+		t.Errorf("min cost = %v, want 5", cost)
+	}
+	if !m.Eval(f, asg) {
+		t.Errorf("assignment %v does not satisfy f", asg)
+	}
+	if asg[0] || !asg[1] || !asg[2] {
+		t.Errorf("assignment = %v, want [false true true]", asg)
+	}
+	if _, _, ok := m.MinCostSat(m.False(), []float64{1, 1, 1}); ok {
+		t.Error("unsat function reported sat")
+	}
+	if asg, cost, ok := m.MinCostSat(m.True(), []float64{1, 1, 1}); !ok || cost != 0 || asg[0] {
+		t.Errorf("MinCostSat(true) = %v %v %v", asg, cost, ok)
+	}
+}
+
+// randomExpr builds a random expression tree and returns both its BDD
+// and a brute-force evaluator.
+func randomExpr(m *Manager, rng *rand.Rand, depth int) (*Node, func([]bool) bool) {
+	if depth == 0 || rng.Intn(3) == 0 {
+		v := rng.Intn(m.NumVars())
+		if rng.Intn(2) == 0 {
+			return m.Var(v), func(a []bool) bool { return a[v] }
+		}
+		return m.NotVar(v), func(a []bool) bool { return !a[v] }
+	}
+	ln, lf := randomExpr(m, rng, depth-1)
+	rn, rf := randomExpr(m, rng, depth-1)
+	op := Op(rng.Intn(4))
+	return m.Apply(op, ln, rn), func(a []bool) bool { return op.eval(lf(a), rf(a)) }
+}
+
+// Property: the BDD agrees with brute-force evaluation on every
+// assignment, and SatCount equals the brute-force model count.
+func TestPropBDDMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(5)
+		m := NewManager(nVars)
+		n, eval := randomExpr(m, rng, 4)
+		count := 0.0
+		asg := make([]bool, nVars)
+		for mask := 0; mask < 1<<nVars; mask++ {
+			for v := 0; v < nVars; v++ {
+				asg[v] = mask&(1<<v) != 0
+			}
+			want := eval(asg)
+			if m.Eval(n, asg) != want {
+				return false
+			}
+			if want {
+				count++
+			}
+		}
+		return m.SatCount(n) == count
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinCostSat matches brute-force minimization.
+func TestPropMinCostMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(4)
+		m := NewManager(nVars)
+		n, eval := randomExpr(m, rng, 3)
+		costs := make([]float64, nVars)
+		for i := range costs {
+			costs[i] = float64(rng.Intn(10))
+		}
+		bestCost := -1.0
+		asg := make([]bool, nVars)
+		for mask := 0; mask < 1<<nVars; mask++ {
+			c := 0.0
+			for v := 0; v < nVars; v++ {
+				asg[v] = mask&(1<<v) != 0
+				if asg[v] {
+					c += costs[v]
+				}
+			}
+			if eval(asg) && (bestCost < 0 || c < bestCost) {
+				bestCost = c
+			}
+		}
+		got, gotCost, ok := m.MinCostSat(n, costs)
+		if bestCost < 0 {
+			return !ok
+		}
+		return ok && gotCost == bestCost && m.Eval(n, got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Restrict agrees with evaluation.
+func TestPropRestrict(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(4)
+		m := NewManager(nVars)
+		n, _ := randomExpr(m, rng, 3)
+		v := rng.Intn(nVars)
+		val := rng.Intn(2) == 0
+		r := m.Restrict(n, v, val)
+		asg := make([]bool, nVars)
+		for mask := 0; mask < 1<<nVars; mask++ {
+			for k := 0; k < nVars; k++ {
+				asg[k] = mask&(1<<k) != 0
+			}
+			asg[v] = val
+			if m.Eval(n, asg) != m.Eval(r, asg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Var out of range should panic")
+		}
+	}()
+	NewManager(2).Var(5)
+}
+
+func TestSizeGrows(t *testing.T) {
+	m := NewManager(8)
+	if m.Size() != 0 {
+		t.Error("fresh manager should have no internal nodes")
+	}
+	f := m.True()
+	for v := 0; v < 8; v++ {
+		f = m.Apply(And, f, m.Var(v))
+	}
+	if m.Size() < 8 {
+		t.Errorf("Size = %d, want >= 8", m.Size())
+	}
+	if m.SatCount(f) != 1 {
+		t.Error("conjunction of all vars has one model")
+	}
+}
+
+func BenchmarkApplyChain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewManager(16)
+		f := m.False()
+		for v := 0; v < 16; v += 2 {
+			f = m.Apply(Or, f, m.Apply(And, m.Var(v), m.Var(v+1)))
+		}
+		if m.SatCount(f) == 0 {
+			b.Fatal("unexpected unsat")
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	m := NewManager(2)
+	f := m.Apply(And, m.Var(0), m.Var(1))
+	out := m.DOT(f, []string{"uP", "A"})
+	for _, frag := range []string{"digraph bdd", `label="uP"`, `label="A"`, "style=dashed", `"T" [shape=box`} {
+		if !containsSub(out, frag) {
+			t.Errorf("DOT lacks %q:\n%s", frag, out)
+		}
+	}
+	if out != m.DOT(f, []string{"uP", "A"}) {
+		t.Error("DOT not deterministic")
+	}
+	// Fallback names.
+	if !containsSub(m.DOT(f, nil), `label="x0"`) {
+		t.Error("fallback variable names missing")
+	}
+}
+
+func containsSub(h, n string) bool {
+	for i := 0; i+len(n) <= len(h); i++ {
+		if h[i:i+len(n)] == n {
+			return true
+		}
+	}
+	return false
+}

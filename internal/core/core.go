@@ -1,0 +1,276 @@
+// Package core implements the paper's primary contribution: the
+// flexibility/cost design-space exploration of hierarchical
+// specification graphs (EXPLORE, Section 4), together with the
+// implementation model it produces and baseline explorers (exhaustive
+// search, random search and an evolutionary algorithm in the spirit of
+// the paper's reference [2]) used to validate the front and to measure
+// the pruning the paper reports.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/bind"
+	"repro/internal/cover"
+	"repro/internal/flex"
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// Behaviour is one feasibly implemented elementary cluster activation:
+// the behaviour's cluster selection, the architecture configuration
+// chosen for it, and the binding of its processes.
+type Behaviour struct {
+	ECS           cover.ECS
+	ArchSelection hgraph.Selection
+	Binding       bind.Binding
+}
+
+// Implementation is a feasible design point: a resource allocation with
+// its cost, the set of problem-graph clusters it implements (a⁺ = 1),
+// the resulting flexibility, and one feasible behaviour per implemented
+// elementary cluster activation.
+type Implementation struct {
+	Allocation  spec.Allocation
+	Cost        float64
+	Flexibility float64
+	Clusters    []hgraph.ID
+	Behaviours  []Behaviour
+}
+
+// ClusterString renders the implemented clusters (root omitted), e.g.
+// "gD1 gI gU1".
+func (im *Implementation) ClusterString(root hgraph.ID) string {
+	var parts []string
+	for _, c := range im.Clusters {
+		if c != root {
+			parts = append(parts, string(c))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// String implements fmt.Stringer.
+func (im *Implementation) String() string {
+	return fmt.Sprintf("%s c=%g f=%g", im.Allocation, im.Cost, im.Flexibility)
+}
+
+// Options configures exploration.
+type Options struct {
+	// Timing is the performance test applied during binding (the paper
+	// uses the 69 % utilization estimate).
+	Timing bind.TimingPolicy
+	// Weighted switches the flexibility metric to the footnote-2
+	// weighted variant.
+	Weighted bool
+	// IncludeUselessComm disables the useless-bus pruning of the
+	// allocation enumeration.
+	IncludeUselessComm bool
+	// DisableFlexBound disables the paper's flexibility-estimation
+	// bound (every possible allocation is then implemented) — ablation.
+	DisableFlexBound bool
+	// StopAtMaxFlex terminates the exploration as soon as the maximum
+	// flexibility of the specification has been implemented. The full
+	// cost-ordered scan (paper behaviour) is the default.
+	StopAtMaxFlex bool
+	// AllBehaviours records every feasible elementary cluster
+	// activation in the implementation instead of only those that
+	// extend the implemented cluster set. Needed when the behaviours
+	// drive a runtime simulation (package sim); irrelevant for the
+	// flexibility value.
+	AllBehaviours bool
+	// MaxECS bounds the number of elementary cluster activations tested
+	// per candidate (0 = 10000).
+	MaxECS int
+	// MaxScan bounds the allocation subsets scanned (0 = unbounded).
+	MaxScan int
+	// MaxBindNodes bounds each binding search (0 = unbounded).
+	MaxBindNodes int
+}
+
+func (o Options) maxECS() int {
+	if o.MaxECS <= 0 {
+		return 10000
+	}
+	return o.MaxECS
+}
+
+// Stats aggregates the effort counters the paper reports in Section 5.
+type Stats struct {
+	// DesignSpace is 2^(allocatable units + problem clusters), the
+	// paper's headline search-space size (2^25 for the case study).
+	DesignSpace float64
+	// AllocSpace is 2^(allocatable units).
+	AllocSpace float64
+	// Scanned counts allocation subsets generated in cost order.
+	Scanned int
+	// PossibleAllocations counts subsets passing the possibility test
+	// (the paper's "set of possible resource allocations").
+	PossibleAllocations int
+	// Estimated counts flexibility estimations performed (one boolean
+	// equation per candidate, in the paper's terms).
+	Estimated int
+	// Attempted counts candidates whose estimate beat the implemented
+	// flexibility and therefore went to implementation construction.
+	Attempted int
+	// ECSTested counts elementary cluster activations submitted to the
+	// binding solver; BindingRuns counts solver invocations (one per
+	// architecture configuration tried); BindingNodes their summed
+	// search nodes.
+	ECSTested    int
+	BindingRuns  int
+	BindingNodes int
+	// Feasible counts candidates that yielded an implementation with
+	// positive flexibility.
+	Feasible int
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	// Front is the Pareto-optimal set, sorted by increasing cost.
+	Front []*Implementation
+	// MaxFlexibility is the flexibility of the specification when every
+	// bindable cluster is activated (upper bound of the front).
+	MaxFlexibility float64
+	Stats          Stats
+}
+
+// FrontTable renders the Pareto set in the layout of the paper's
+// Section 5 table.
+func (r *Result) FrontTable(root hgraph.ID) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s | %-44s | %6s | %3s\n", "Resources", "Clusters", "c", "f")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 92))
+	for _, im := range r.Front {
+		res := strings.Trim(im.Allocation.String(), "{}")
+		fmt.Fprintf(&b, "%-28s | %-44s | $%5.0f | %4g\n", res, im.ClusterString(root), im.Cost, im.Flexibility)
+	}
+	return b.String()
+}
+
+// flexOf evaluates the configured flexibility metric for an activation
+// set.
+func (o Options) flexOf(g *hgraph.Graph, active map[hgraph.ID]bool) float64 {
+	if o.Weighted {
+		return flex.WeightedFlexibility(g, flex.FromSet(active))
+	}
+	return flex.Flexibility(g, flex.FromSet(active))
+}
+
+// Implement attempts to construct an implementation for one resource
+// allocation: it determines the supportable clusters, tests every
+// elementary cluster activation over the allocation's architecture
+// configurations with the binding solver, and evaluates the flexibility
+// of the clusters that are part of at least one feasible behaviour.
+// It returns nil when no behaviour is feasible. Search effort is added
+// to stats (which may be nil).
+func Implement(s *spec.Spec, a spec.Allocation, opts Options, stats *Stats) *Implementation {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	supportable := alloc.SupportableClusters(s, a)
+	feasible := map[hgraph.ID]bool{}
+	var behaviours []Behaviour
+
+	// Architecture configurations are enumerated once.
+	var views []*spec.ArchView
+	a.EnumerateArchSelections(s, func(sel hgraph.Selection) bool {
+		if av, err := s.ArchViewFor(a, sel); err == nil {
+			views = append(views, av)
+		}
+		return true
+	})
+
+	tested := 0
+	cover.Enumerate(s.Problem, supportable, func(e cover.ECS) bool {
+		tested++
+		// Skip behaviours that cannot extend the feasible cluster set
+		// (unless the caller wants the full behaviour inventory).
+		if !opts.AllBehaviours {
+			novel := false
+			for _, c := range e.Clusters {
+				if !feasible[c] {
+					novel = true
+					break
+				}
+			}
+			if !novel {
+				return tested < opts.maxECS()
+			}
+		}
+		stats.ECSTested++
+		fp, err := s.Problem.Flatten(e.Selection)
+		if err != nil {
+			return tested < opts.maxECS()
+		}
+		for _, av := range views {
+			stats.BindingRuns++
+			res, ok := bind.Find(s, fp, av, bind.Options{Timing: opts.Timing, MaxNodes: opts.MaxBindNodes})
+			stats.BindingNodes += res.Nodes
+			if ok {
+				for _, c := range e.Clusters {
+					feasible[c] = true
+				}
+				behaviours = append(behaviours, Behaviour{
+					ECS: e, ArchSelection: av.Selection, Binding: res.Binding,
+				})
+				break
+			}
+		}
+		return tested < opts.maxECS()
+	})
+
+	implemented := flex.ActivatableClusters(s.Problem, flex.FromSet(feasible))
+	f := opts.flexOf(s.Problem, implemented)
+	if f <= 0 {
+		return nil
+	}
+	clusters := make([]hgraph.ID, 0, len(implemented))
+	for c := range implemented {
+		clusters = append(clusters, c)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
+	// Keep only behaviours whose clusters survived normalization.
+	kept := behaviours[:0]
+	for _, b := range behaviours {
+		all := true
+		for _, c := range b.ECS.Clusters {
+			if !implemented[c] {
+				all = false
+				break
+			}
+		}
+		if all {
+			kept = append(kept, b)
+		}
+	}
+	return &Implementation{
+		Allocation:  a.Clone(),
+		Cost:        a.Cost(s),
+		Flexibility: f,
+		Clusters:    clusters,
+		Behaviours:  kept,
+	}
+}
+
+// Estimate computes the paper's flexibility estimation for an
+// allocation: the flexibility of the specification reduced to the
+// clusters supportable under the allocation, ignoring binding and
+// timing feasibility. It is an upper bound on the implementable
+// flexibility.
+func Estimate(s *spec.Spec, a spec.Allocation, opts Options) float64 {
+	return opts.flexOf(s.Problem, alloc.SupportableClusters(s, a))
+}
+
+// MaxFlexibility returns the flexibility upper bound of the whole
+// specification: the estimate under the full allocation (every unit).
+func MaxFlexibility(s *spec.Spec, opts Options) float64 {
+	full := spec.Allocation{}
+	for _, u := range alloc.Units(s) {
+		full[u.ID] = true
+	}
+	return Estimate(s, full, opts)
+}

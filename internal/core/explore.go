@@ -1,0 +1,76 @@
+package core
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/pareto"
+	"repro/internal/spec"
+)
+
+// Explore runs the paper's EXPLORE algorithm: possible resource
+// allocations are inspected in order of increasing allocation cost;
+// for each candidate the maximum implementable flexibility is estimated
+// by a single reduction of the specification, and only candidates whose
+// estimate exceeds the best implemented flexibility go to the expensive
+// implementation construction (elementary cluster activations, binding,
+// timing validation). Because candidates arrive in nondecreasing cost,
+// a newly constructed implementation is Pareto-optimal iff its
+// flexibility exceeds every flexibility implemented so far, so the
+// returned front is exactly the Pareto-optimal set over the explored
+// space.
+func Explore(s *spec.Spec, opts Options) *Result {
+	res := &Result{MaxFlexibility: MaxFlexibility(s, opts)}
+	front := &pareto.Front{}
+	fcur := 0.0
+
+	_, _, pc, _ := s.Problem.ElementCount()
+	aStats := alloc.Enumerate(s, alloc.Options{
+		IncludeUselessComm: opts.IncludeUselessComm,
+		MaxScan:            opts.MaxScan,
+	}, func(c alloc.Candidate) bool {
+		res.Stats.PossibleAllocations++
+		res.Stats.Estimated++
+		est := Estimate(s, c.Allocation, opts)
+		if !opts.DisableFlexBound && est <= fcur {
+			return true
+		}
+		res.Stats.Attempted++
+		im := Implement(s, c.Allocation, opts, &res.Stats)
+		if im == nil {
+			return true
+		}
+		res.Stats.Feasible++
+		if front.Add(&pareto.Entry{
+			Objectives: pareto.CostFlexObjectives(im.Cost, im.Flexibility),
+			Value:      im,
+		}) {
+			if im.Flexibility > fcur {
+				fcur = im.Flexibility
+			}
+		}
+		if opts.StopAtMaxFlex && fcur >= res.MaxFlexibility {
+			return false
+		}
+		return true
+	})
+	res.Stats.Scanned = aStats.Scanned
+	res.Stats.AllocSpace = aStats.SearchSpace
+	res.Stats.DesignSpace = aStats.SearchSpace * pow2(pc)
+	res.Front = frontToImplementations(front)
+	return res
+}
+
+func pow2(n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= 2
+	}
+	return out
+}
+
+func frontToImplementations(front *pareto.Front) []*Implementation {
+	var out []*Implementation
+	for _, e := range front.Entries() {
+		out = append(out, e.Value.(*Implementation))
+	}
+	return out
+}

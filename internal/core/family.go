@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// FamilyAnalysis summarizes a Pareto front from the platform-based
+// design perspective the paper's introduction motivates: for every
+// behaviour variant (leaf cluster), at which price point does the
+// product family first offer it, and which variants ship in every tier
+// (the commonality that defines the platform)?
+type FamilyAnalysis struct {
+	// EntryCost maps each implementable cluster to the cost of the
+	// cheapest front implementation offering it.
+	EntryCost map[hgraph.ID]float64
+	// Common lists the clusters implemented by every front member
+	// (root and intermediate clusters excluded), sorted.
+	Common []hgraph.ID
+	// Unreachable lists leaf clusters no front implementation offers.
+	Unreachable []hgraph.ID
+	// MarginalCost lists, per consecutive front pair, the cost per
+	// added flexibility unit.
+	MarginalCost []float64
+}
+
+// AnalyzeFamily computes the family analysis of an explored front.
+func AnalyzeFamily(s *spec.Spec, front []*Implementation) *FamilyAnalysis {
+	fa := &FamilyAnalysis{EntryCost: map[hgraph.ID]float64{}}
+	leafClusters := map[hgraph.ID]bool{}
+	for _, c := range s.Problem.Clusters() {
+		if len(c.Interfaces) == 0 && c != s.Problem.Root {
+			leafClusters[c.ID] = true
+		}
+	}
+	counts := map[hgraph.ID]int{}
+	for _, im := range front {
+		for _, c := range im.Clusters {
+			if !leafClusters[c] {
+				continue
+			}
+			counts[c]++
+			if _, seen := fa.EntryCost[c]; !seen {
+				fa.EntryCost[c] = im.Cost
+			}
+		}
+	}
+	for c := range leafClusters {
+		if counts[c] == len(front) && len(front) > 0 {
+			fa.Common = append(fa.Common, c)
+		}
+		if counts[c] == 0 {
+			fa.Unreachable = append(fa.Unreachable, c)
+		}
+	}
+	sort.Slice(fa.Common, func(i, j int) bool { return fa.Common[i] < fa.Common[j] })
+	sort.Slice(fa.Unreachable, func(i, j int) bool { return fa.Unreachable[i] < fa.Unreachable[j] })
+	for i := 1; i < len(front); i++ {
+		df := front[i].Flexibility - front[i-1].Flexibility
+		dc := front[i].Cost - front[i-1].Cost
+		if df > 0 {
+			fa.MarginalCost = append(fa.MarginalCost, dc/df)
+		}
+	}
+	return fa
+}
+
+// String renders the analysis as a compact report.
+func (fa *FamilyAnalysis) String() string {
+	var b strings.Builder
+	b.WriteString("behaviour entry costs:\n")
+	var ids []hgraph.ID
+	for id := range fa.EntryCost {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if fa.EntryCost[ids[i]] != fa.EntryCost[ids[j]] {
+			return fa.EntryCost[ids[i]] < fa.EntryCost[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  %-6s from $%g\n", id, fa.EntryCost[id])
+	}
+	fmt.Fprintf(&b, "platform commonality (in every tier): %v\n", fa.Common)
+	if len(fa.Unreachable) > 0 {
+		fmt.Fprintf(&b, "never offered: %v\n", fa.Unreachable)
+	}
+	if len(fa.MarginalCost) > 0 {
+		fmt.Fprintf(&b, "marginal cost per flexibility unit: %v\n", fa.MarginalCost)
+	}
+	return b.String()
+}

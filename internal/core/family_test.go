@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hgraph"
+	"repro/internal/models"
+)
+
+func TestAnalyzeFamilyCaseStudy(t *testing.T) {
+	s := models.SetTopBox()
+	r := Explore(s, Options{})
+	fa := AnalyzeFamily(s, r.Front)
+
+	wantEntry := map[hgraph.ID]float64{
+		"gI": 100, "gD1": 100, "gU1": 100, // shipped from the cheapest box
+		"gG1": 120, // needs μP1 (or an accelerator)
+		"gU2": 230,
+		"gD3": 290,
+		"gG2": 360, "gG3": 360, "gD2": 360, // need an ASIC
+	}
+	for c, want := range wantEntry {
+		if got := fa.EntryCost[c]; got != want {
+			t.Errorf("entry cost of %s = %v, want %v", c, got, want)
+		}
+	}
+	// The commonality is the browser + basic TV chain.
+	wantCommon := []hgraph.ID{"gD1", "gI", "gU1"}
+	if len(fa.Common) != len(wantCommon) {
+		t.Fatalf("common = %v, want %v", fa.Common, wantCommon)
+	}
+	for i := range wantCommon {
+		if fa.Common[i] != wantCommon[i] {
+			t.Errorf("common[%d] = %s, want %s", i, fa.Common[i], wantCommon[i])
+		}
+	}
+	if len(fa.Unreachable) != 0 {
+		t.Errorf("unreachable = %v, want none", fa.Unreachable)
+	}
+	// Marginal costs: 20/1, 110/1, 60/1, 70/2, 70/1.
+	want := []float64{20, 110, 60, 35, 70}
+	if len(fa.MarginalCost) != len(want) {
+		t.Fatalf("marginal costs = %v", fa.MarginalCost)
+	}
+	for i := range want {
+		if fa.MarginalCost[i] != want[i] {
+			t.Errorf("marginal[%d] = %v, want %v", i, fa.MarginalCost[i], want[i])
+		}
+	}
+	out := fa.String()
+	for _, frag := range []string{"gI", "from $100", "commonality", "marginal cost"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report lacks %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestAnalyzeFamilyUnreachable(t *testing.T) {
+	// Remove the only resource of gD3 (the FPGA D3 design has no
+	// substitute): exploring the spec without dD3 never offers gD3.
+	s := models.SetTopBox()
+	if err := s.Arch.RemoveCluster("dD3"); err != nil {
+		t.Fatal(err)
+	}
+	kept := s.Mappings[:0]
+	for _, m := range s.Mappings {
+		if m.Resource != "D3" {
+			kept = append(kept, m)
+		}
+	}
+	s.Mappings = kept
+	s2 := s.Clone()
+	r := Explore(s2, Options{})
+	fa := AnalyzeFamily(s2, r.Front)
+	found := false
+	for _, c := range fa.Unreachable {
+		if c == "gD3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("gD3 should be unreachable without D3, got %v", fa.Unreachable)
+	}
+}
+
+func TestAnalyzeFamilyEmptyFront(t *testing.T) {
+	s := models.SetTopBox()
+	fa := AnalyzeFamily(s, nil)
+	if len(fa.Common) != 0 || len(fa.EntryCost) != 0 {
+		t.Error("empty front should yield empty analysis")
+	}
+	if len(fa.Unreachable) == 0 {
+		t.Error("everything is unreachable with an empty front")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/pareto"
+	"repro/internal/spec"
+)
+
+// ExploreParallel runs EXPLORE with the per-candidate work — the
+// flexibility estimation and the implementation construction — fanned
+// out over worker goroutines while keeping the resulting front
+// bit-for-bit identical to the sequential explorer.
+//
+// Determinism is preserved by processing candidates in waves: the
+// cost-ordered enumeration fills a batch, workers evaluate the batch
+// members concurrently against the bound as of the wave start, and the
+// results are folded into the front in the original candidate order.
+// The flexibility bound therefore lags by at most one wave compared to
+// the sequential run, which can only cause extra work, never different
+// fronts (a candidate the sequential run skips has estimate ≤ its
+// bound, so its implementation is dominated by the archive).
+//
+// workers <= 0 selects GOMAXPROCS; batch <= 0 selects 8 x workers. On a
+// single-core host the wave machinery adds only a few percent overhead;
+// the speedup materializes with GOMAXPROCS > 1 because candidates are
+// evaluated independently.
+func ExploreParallel(s *spec.Spec, opts Options, workers, batch int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Explore(s, opts)
+	}
+	if batch <= 0 {
+		batch = 8 * workers
+	}
+	// Warm the lazy indexes of the specification before concurrent use.
+	_ = Estimate(s, spec.Allocation{}, opts)
+
+	res := &Result{MaxFlexibility: MaxFlexibility(s, opts)}
+	front := &pareto.Front{}
+	fcur := 0.0
+
+	type job struct {
+		alloc     spec.Allocation
+		est       float64
+		attempted bool
+		impl      *Implementation
+		stats     Stats
+	}
+	var wave []*job
+
+	flush := func() bool {
+		bound := fcur
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for _, j := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j *job) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				j.est = Estimate(s, j.alloc, opts)
+				if !opts.DisableFlexBound && j.est <= bound {
+					return
+				}
+				j.attempted = true
+				j.impl = Implement(s, j.alloc, opts, &j.stats)
+			}(j)
+		}
+		wg.Wait()
+		stop := false
+		for _, j := range wave {
+			res.Stats.Estimated++
+			if !j.attempted {
+				continue
+			}
+			// Second chance against the bound tightened within this
+			// wave: drop results the sequential run would have skipped
+			// (they are dominated anyway; skipping keeps the counters
+			// closer to the sequential run's).
+			if !opts.DisableFlexBound && j.est <= fcur {
+				continue
+			}
+			res.Stats.Attempted++
+			res.Stats.ECSTested += j.stats.ECSTested
+			res.Stats.BindingRuns += j.stats.BindingRuns
+			res.Stats.BindingNodes += j.stats.BindingNodes
+			if j.impl == nil {
+				continue
+			}
+			res.Stats.Feasible++
+			if front.Add(&pareto.Entry{
+				Objectives: pareto.CostFlexObjectives(j.impl.Cost, j.impl.Flexibility),
+				Value:      j.impl,
+			}) && j.impl.Flexibility > fcur {
+				fcur = j.impl.Flexibility
+			}
+			if opts.StopAtMaxFlex && fcur >= res.MaxFlexibility {
+				stop = true
+			}
+		}
+		wave = wave[:0]
+		return !stop
+	}
+
+	_, _, pc, _ := s.Problem.ElementCount()
+	aStats := alloc.Enumerate(s, alloc.Options{
+		IncludeUselessComm: opts.IncludeUselessComm,
+		MaxScan:            opts.MaxScan,
+	}, func(c alloc.Candidate) bool {
+		res.Stats.PossibleAllocations++
+		wave = append(wave, &job{alloc: c.Allocation.Clone()})
+		if len(wave) >= batch {
+			return flush()
+		}
+		return true
+	})
+	flush()
+	res.Stats.Scanned = aStats.Scanned
+	res.Stats.AllocSpace = aStats.SearchSpace
+	res.Stats.DesignSpace = aStats.SearchSpace * pow2(pc)
+	res.Front = frontToImplementations(front)
+	return res
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/models"
+)
+
+func sameFronts(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.Front) != len(b.Front) {
+		t.Fatalf("front sizes differ: %d vs %d", len(a.Front), len(b.Front))
+	}
+	for i := range a.Front {
+		if a.Front[i].Cost != b.Front[i].Cost ||
+			a.Front[i].Flexibility != b.Front[i].Flexibility ||
+			!a.Front[i].Allocation.Equal(b.Front[i].Allocation) {
+			t.Errorf("row %d differs: %v vs %v", i, a.Front[i], b.Front[i])
+		}
+	}
+}
+
+// TestExploreParallelMatchesSequential: identical fronts (including the
+// representatives at equal-cost ties) for several worker/batch shapes.
+func TestExploreParallelMatchesSequential(t *testing.T) {
+	s := models.SetTopBox()
+	seq := Explore(s, Options{})
+	for _, cfg := range []struct{ workers, batch int }{
+		{2, 1}, {2, 8}, {4, 16}, {8, 64}, {0, 0},
+	} {
+		par := ExploreParallel(s, Options{}, cfg.workers, cfg.batch)
+		sameFronts(t, seq, par)
+		if par.Stats.PossibleAllocations != seq.Stats.PossibleAllocations {
+			t.Errorf("possible allocations differ: %d vs %d",
+				par.Stats.PossibleAllocations, seq.Stats.PossibleAllocations)
+		}
+		// The batch lag may only increase attempts.
+		if par.Stats.Attempted < seq.Stats.Attempted {
+			t.Errorf("parallel attempted %d < sequential %d",
+				par.Stats.Attempted, seq.Stats.Attempted)
+		}
+	}
+}
+
+func TestExploreParallelSDR(t *testing.T) {
+	s := models.SDR()
+	sameFronts(t, Explore(s, Options{}), ExploreParallel(s, Options{}, 4, 8))
+}
+
+func TestExploreParallelSingleWorker(t *testing.T) {
+	s := models.Decoder()
+	sameFronts(t, Explore(s, Options{}), ExploreParallel(s, Options{}, 1, 0))
+}
+
+// Property: parallel and sequential exploration agree on synthetic
+// models across worker counts.
+func TestPropParallelAgrees(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := models.SyntheticParams{
+			Seed: seed % 30, Apps: 2, Depth: 1, Branch: 2, Vertices: 2,
+			Processors: 2, ASICs: 1, Designs: 1, Buses: 3,
+			TimedFraction: 0.3, AccelOnlyFraction: 0.3,
+		}
+		s := models.Synthetic(p)
+		seq := Explore(s, Options{})
+		par := ExploreParallel(s, Options{}, 3, 5)
+		if len(seq.Front) != len(par.Front) {
+			return false
+		}
+		for i := range seq.Front {
+			if seq.Front[i].Cost != par.Front[i].Cost ||
+				seq.Front[i].Flexibility != par.Front[i].Flexibility ||
+				!seq.Front[i].Allocation.Equal(par.Front[i].Allocation) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExploreParallel(b *testing.B) {
+	s := models.SetTopBox()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(Explore(s, Options{DisableFlexBound: true}).Front) != 6 {
+				b.Fatal("front")
+			}
+		}
+	})
+	b.Run("parallel-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(ExploreParallel(s, Options{DisableFlexBound: true}, 4, 32).Front) != 6 {
+				b.Fatal("front")
+			}
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/pareto"
+	"repro/internal/spec"
+)
+
+// Upgrade explores the incremental-design question the paper raises
+// when discussing Pop et al. [10]: how to extend an already deployed
+// platform for more functionality *with a guarantee* that the running
+// behaviours keep working. Candidates are restricted to supersets of
+// the base allocation, so every behaviour feasible on the base remains
+// feasible (its bindings and timing are untouched by added resources);
+// implemented flexibility is therefore monotone along the upgrade path.
+//
+// The returned front contains the Pareto-optimal upgrades with strictly
+// more flexibility than the base implementation (the base itself is the
+// front's implicit origin and is not repeated).
+func Upgrade(s *spec.Spec, base spec.Allocation, opts Options) *Result {
+	res := &Result{MaxFlexibility: MaxFlexibility(s, opts)}
+	front := &pareto.Front{}
+
+	baseImpl := Implement(s, base, opts, &res.Stats)
+	fcur := 0.0
+	if baseImpl != nil {
+		fcur = baseImpl.Flexibility
+	}
+	baseFlex := fcur
+
+	_, _, pc, _ := s.Problem.ElementCount()
+	aStats := alloc.EnumerateExtensions(s, base, alloc.Options{
+		IncludeUselessComm: opts.IncludeUselessComm,
+		MaxScan:            opts.MaxScan,
+	}, func(c alloc.Candidate) bool {
+		res.Stats.PossibleAllocations++
+		res.Stats.Estimated++
+		est := Estimate(s, c.Allocation, opts)
+		if !opts.DisableFlexBound && est <= fcur {
+			return true
+		}
+		res.Stats.Attempted++
+		im := Implement(s, c.Allocation, opts, &res.Stats)
+		if im == nil || im.Flexibility <= baseFlex {
+			return true
+		}
+		res.Stats.Feasible++
+		if front.Add(&pareto.Entry{
+			Objectives: pareto.CostFlexObjectives(im.Cost, im.Flexibility),
+			Value:      im,
+		}) && im.Flexibility > fcur {
+			fcur = im.Flexibility
+		}
+		if opts.StopAtMaxFlex && fcur >= res.MaxFlexibility {
+			return false
+		}
+		return true
+	})
+	res.Stats.Scanned = aStats.Scanned
+	res.Stats.AllocSpace = aStats.SearchSpace
+	res.Stats.DesignSpace = aStats.SearchSpace * pow2(pc)
+	res.Front = frontToImplementations(front)
+	return res
+}

@@ -1,0 +1,292 @@
+// Package cover implements elementary cluster activations (ecs) and
+// coverage of the activatable-cluster set, as required by the paper's
+// exploration step: "Since every activatable cluster has to be part of
+// the implementation to obtain the expected flexibility, we have to
+// determine a coverage of Γ_act by elementary cluster-activations."
+//
+// An elementary cluster activation selects exactly one activatable
+// cluster per activated interface; a coverage is a set of ecs such that
+// every activatable cluster appears in at least one of them. Each ecs
+// corresponds to one instantaneous behaviour of the adaptive system; the
+// coverage is the set of behaviours that must each admit a feasible
+// binding for the estimated flexibility to be implementable.
+package cover
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hgraph"
+)
+
+// ECS is an elementary cluster activation: a complete cluster selection
+// drawn from the activatable set, together with the clusters it
+// activates (including the root).
+type ECS struct {
+	Selection hgraph.Selection
+	Clusters  []hgraph.ID
+}
+
+// String renders the activated clusters, e.g. "{gD1 gU1 top}".
+func (e ECS) String() string {
+	parts := make([]string, len(e.Clusters))
+	for i, c := range e.Clusters {
+		parts[i] = string(c)
+	}
+	sort.Strings(parts)
+	out := "{"
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out + "}"
+}
+
+// Enumerate calls fn for every elementary cluster activation of the
+// graph restricted to the activatable clusters (the root must be
+// activatable for any ecs to exist). Enumeration stops when fn returns
+// false. The ECS passed to fn owns its selection (safe to retain).
+func Enumerate(g *hgraph.Graph, activatable map[hgraph.ID]bool, fn func(ECS) bool) {
+	if !activatable[g.Root.ID] {
+		return
+	}
+	sel := hgraph.Selection{}
+	var enumIfs func(ifs []*hgraph.Interface, k int, done func() bool) bool
+	var enumCluster func(c *hgraph.Cluster, done func() bool) bool
+	enumCluster = func(c *hgraph.Cluster, done func() bool) bool {
+		return enumIfs(c.Interfaces, 0, done)
+	}
+	enumIfs = func(ifs []*hgraph.Interface, k int, done func() bool) bool {
+		if k == len(ifs) {
+			return done()
+		}
+		i := ifs[k]
+		for _, sub := range i.Clusters {
+			if !activatable[sub.ID] {
+				continue
+			}
+			sel[i.ID] = sub.ID
+			cont := enumCluster(sub, func() bool { return enumIfs(ifs, k+1, done) })
+			delete(sel, i.ID)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	enumCluster(g.Root, func() bool {
+		return fn(ECS{Selection: sel.Clone(), Clusters: g.ActiveClusters(sel)})
+	})
+}
+
+// All returns every elementary cluster activation. Use Enumerate for
+// graphs with many variants.
+func All(g *hgraph.Graph, activatable map[hgraph.ID]bool) []ECS {
+	var out []ECS
+	Enumerate(g, activatable, func(e ECS) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of elementary cluster activations without
+// materializing them.
+func Count(g *hgraph.Graph, activatable map[hgraph.ID]bool) int {
+	n := 0
+	Enumerate(g, activatable, func(ECS) bool { n++; return true })
+	return n
+}
+
+// Cover computes a coverage of the activatable clusters by elementary
+// cluster activations without enumerating all ecs: it repeatedly builds
+// an ecs that forces the lexicographically smallest uncovered cluster
+// active and greedily routes remaining choices through uncovered
+// clusters. The result is deterministic; its size is at most the number
+// of activatable clusters. An error is returned if the activatable set
+// is inconsistent (a forced chain cannot be completed).
+func Cover(g *hgraph.Graph, activatable map[hgraph.ID]bool) ([]ECS, error) {
+	uncovered := map[hgraph.ID]bool{}
+	for id, on := range activatable {
+		if on {
+			uncovered[id] = true
+		}
+	}
+	if len(uncovered) == 0 {
+		return nil, nil
+	}
+	if !activatable[g.Root.ID] {
+		return nil, fmt.Errorf("cover: root %q not activatable", g.Root.ID)
+	}
+	delete(uncovered, g.Root.ID)
+
+	// uncoveredBelow counts uncovered clusters in the subtree rooted at
+	// a cluster (the cluster itself included).
+	var uncoveredBelow func(c *hgraph.Cluster) int
+	uncoveredBelow = func(c *hgraph.Cluster) int {
+		n := 0
+		if uncovered[c.ID] {
+			n++
+		}
+		for _, i := range c.Interfaces {
+			for _, sub := range i.Clusters {
+				if activatable[sub.ID] {
+					n += uncoveredBelow(sub)
+				}
+			}
+		}
+		return n
+	}
+
+	var out []ECS
+	// At least one ecs is always produced (even for a flat graph with no
+	// clusters beyond the root): downstream binding needs a behaviour to
+	// implement.
+	for first := true; first || len(uncovered) > 0; first = false {
+		forced := map[hgraph.ID]hgraph.ID{} // interface -> forced cluster
+		var target hgraph.ID
+		if len(uncovered) > 0 {
+			target = smallest(uncovered)
+			// Force the ancestor chain of the target cluster.
+			for id := target; ; {
+				owner := g.OwnerInterface(id)
+				if owner == nil {
+					break // reached the root
+				}
+				forced[owner.ID] = id
+				parent := g.ParentCluster(owner.ID)
+				if parent == nil {
+					break
+				}
+				id = parent.ID
+			}
+		}
+		sel := hgraph.Selection{}
+		var build func(c *hgraph.Cluster) error
+		build = func(c *hgraph.Cluster) error {
+			for _, i := range c.Interfaces {
+				var choice *hgraph.Cluster
+				if fid, ok := forced[i.ID]; ok {
+					choice = i.Cluster(fid)
+					if choice == nil || !activatable[choice.ID] {
+						return fmt.Errorf("cover: forced cluster %q of interface %q not activatable", fid, i.ID)
+					}
+				} else {
+					best := -1
+					for _, sub := range i.Clusters {
+						if !activatable[sub.ID] {
+							continue
+						}
+						score := uncoveredBelow(sub)
+						if score > best || (score == best && choice != nil && sub.ID < choice.ID) {
+							if score > best {
+								best = score
+								choice = sub
+							} else if sub.ID < choice.ID {
+								choice = sub
+							}
+						}
+					}
+					if choice == nil {
+						return fmt.Errorf("cover: interface %q has no activatable cluster", i.ID)
+					}
+				}
+				sel[i.ID] = choice.ID
+				if err := build(choice); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := build(g.Root); err != nil {
+			return nil, err
+		}
+		ecs := ECS{Selection: sel, Clusters: g.ActiveClusters(sel)}
+		out = append(out, ecs)
+		for _, c := range ecs.Clusters {
+			delete(uncovered, c)
+		}
+		if target != "" && uncovered[target] {
+			return nil, fmt.Errorf("cover: failed to cover cluster %q", target)
+		}
+	}
+	return out, nil
+}
+
+func smallest(set map[hgraph.ID]bool) hgraph.ID {
+	var best hgraph.ID
+	first := true
+	for id := range set {
+		if first || id < best {
+			best = id
+			first = false
+		}
+	}
+	return best
+}
+
+// Covers reports whether the given ecs set covers every activatable
+// cluster (root excluded — it is covered by construction).
+func Covers(ecss []ECS, activatable map[hgraph.ID]bool, root hgraph.ID) bool {
+	covered := map[hgraph.ID]bool{root: true}
+	for _, e := range ecss {
+		for _, c := range e.Clusters {
+			covered[c] = true
+		}
+	}
+	for id, on := range activatable {
+		if on && !covered[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalCoverSize computes the size of a minimum coverage by brute
+// force over all ecs subsets. Exponential — intended for tests on small
+// graphs only; maxECS bounds the enumeration (0 meaning 20).
+func MinimalCoverSize(g *hgraph.Graph, activatable map[hgraph.ID]bool, maxECS int) (int, error) {
+	if maxECS == 0 {
+		maxECS = 20
+	}
+	all := All(g, activatable)
+	if len(all) > maxECS {
+		return 0, fmt.Errorf("cover: %d ecs exceed limit %d", len(all), maxECS)
+	}
+	if len(all) == 0 {
+		if len(activatable) == 0 {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("cover: no ecs exists")
+	}
+	for size := 1; size <= len(all); size++ {
+		idx := make([]int, size)
+		for i := range idx {
+			idx[i] = i
+		}
+		for {
+			subset := make([]ECS, size)
+			for i, k := range idx {
+				subset[i] = all[k]
+			}
+			if Covers(subset, activatable, g.Root.ID) {
+				return size, nil
+			}
+			// next combination
+			i := size - 1
+			for i >= 0 && idx[i] == len(all)-size+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < size; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+	return 0, fmt.Errorf("cover: no subset covers the activatable set")
+}

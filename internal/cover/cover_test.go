@@ -1,0 +1,308 @@
+package cover
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flex"
+	"repro/internal/hgraph"
+	"repro/internal/hgraph/hgraphtest"
+)
+
+// buildSetTop builds the Fig. 3 problem-graph hierarchy (application
+// interface refined by browser, game console and digital TV).
+func buildSetTop(t testing.TB) *hgraph.Graph {
+	t.Helper()
+	b := hgraph.NewBuilder("settop", "GP")
+	app := b.Root().Interface("IApp")
+	app.Cluster("gI").Vertex("PCI")
+	gG := app.Cluster("gG")
+	gG.Vertex("PCG")
+	ig := gG.Interface("IG", hgraph.Port{Name: "p"})
+	ig.Cluster("gG1").Vertex("PG1").Bind("p", "PG1")
+	ig.Cluster("gG2").Vertex("PG2").Bind("p", "PG2")
+	ig.Cluster("gG3").Vertex("PG3").Bind("p", "PG3")
+	gD := app.Cluster("gD")
+	gD.Vertex("PCD")
+	id := gD.Interface("ID", hgraph.Port{Name: "p"})
+	id.Cluster("gD1").Vertex("PD1").Bind("p", "PD1")
+	id.Cluster("gD2").Vertex("PD2").Bind("p", "PD2")
+	id.Cluster("gD3").Vertex("PD3").Bind("p", "PD3")
+	iu := gD.Interface("IU", hgraph.Port{Name: "p"})
+	iu.Cluster("gU1").Vertex("PU1").Bind("p", "PU1")
+	iu.Cluster("gU2").Vertex("PU2").Bind("p", "PU2")
+	return b.MustBuild()
+}
+
+func allActive(g *hgraph.Graph) map[hgraph.ID]bool {
+	act := map[hgraph.ID]bool{}
+	for _, c := range g.Clusters() {
+		act[c.ID] = true
+	}
+	return act
+}
+
+func TestEnumerateCount(t *testing.T) {
+	g := buildSetTop(t)
+	if got := Count(g, allActive(g)); got != 10 {
+		t.Errorf("ecs count = %d, want 1+3+6 = 10", got)
+	}
+}
+
+func TestEnumerateRestricted(t *testing.T) {
+	g := buildSetTop(t)
+	act := allActive(g)
+	act["gD3"] = false
+	if got := Count(g, act); got != 8 {
+		t.Errorf("ecs count without gD3 = %d, want 1+3+4 = 8", got)
+	}
+	// Removing all game classes removes the whole console branch only
+	// if gG is also deactivated (callers normalize via
+	// flex.ActivatableClusters); raw enumeration just finds no choice.
+	act2 := allActive(g)
+	act2["gG1"], act2["gG2"], act2["gG3"] = false, false, false
+	if got := Count(g, act2); got != 7 {
+		t.Errorf("ecs count without game classes = %d, want 1+0+6 = 7", got)
+	}
+}
+
+func TestEnumerateRootInactive(t *testing.T) {
+	g := buildSetTop(t)
+	act := allActive(g)
+	act["GP"] = false
+	if got := Count(g, act); got != 0 {
+		t.Errorf("ecs count with inactive root = %d, want 0", got)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := buildSetTop(t)
+	n := 0
+	Enumerate(g, allActive(g), func(ECS) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Errorf("early stop after %d, want 4", n)
+	}
+}
+
+func TestECSClusters(t *testing.T) {
+	g := buildSetTop(t)
+	var tvECS *ECS
+	Enumerate(g, allActive(g), func(e ECS) bool {
+		if e.Selection["IApp"] == "gD" && e.Selection["ID"] == "gD2" && e.Selection["IU"] == "gU1" {
+			tvECS = &e
+			return false
+		}
+		return true
+	})
+	if tvECS == nil {
+		t.Fatal("TV ecs (gD2, gU1) not enumerated")
+	}
+	want := map[hgraph.ID]bool{"GP": true, "gD": true, "gD2": true, "gU1": true}
+	if len(tvECS.Clusters) != len(want) {
+		t.Fatalf("ecs clusters = %v, want %v", tvECS.Clusters, want)
+	}
+	for _, c := range tvECS.Clusters {
+		if !want[c] {
+			t.Errorf("unexpected cluster %s in ecs", c)
+		}
+	}
+	if tvECS.String() != "{GP gD gD2 gU1}" {
+		t.Errorf("String = %s", tvECS.String())
+	}
+}
+
+func TestCoverSetTop(t *testing.T) {
+	g := buildSetTop(t)
+	act := allActive(g)
+	cov, err := Cover(g, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Covers(cov, act, g.Root.ID) {
+		t.Error("Cover result does not cover the activatable set")
+	}
+	// The minimum is 7 (one per browser, three game classes, and
+	// max(3 decryptions, 2 uncompressions) = 3 TV behaviours); the
+	// greedy cover must achieve it here.
+	if len(cov) != 7 {
+		t.Errorf("cover size = %d, want 7", len(cov))
+	}
+}
+
+// TestCoverPaperExample reproduces the coverage example of Section 4:
+// for activatable clusters γD1, γD2, γU1, γU2 (decoder without γD3) a
+// coverage by two elementary cluster activations exists, e.g.
+// {γD2 γU1} and {γD1 γU2}.
+func TestCoverPaperExample(t *testing.T) {
+	b := hgraph.NewBuilder("fig2", "top")
+	r := b.Root()
+	r.Vertex("PA").Vertex("PC")
+	id := r.Interface("ID", hgraph.Port{Name: "p"})
+	id.Cluster("gD1").Vertex("PD1").Bind("p", "PD1")
+	id.Cluster("gD2").Vertex("PD2").Bind("p", "PD2")
+	iu := r.Interface("IU", hgraph.Port{Name: "p"})
+	iu.Cluster("gU1").Vertex("PU1").Bind("p", "PU1")
+	iu.Cluster("gU2").Vertex("PU2").Bind("p", "PU2")
+	g := b.MustBuild()
+
+	act := allActive(g)
+	cov, err := Cover(g, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cov) != 2 {
+		t.Fatalf("cover size = %d, want 2 (paper's example)", len(cov))
+	}
+	if !Covers(cov, act, g.Root.ID) {
+		t.Error("cover incomplete")
+	}
+	min, err := MinimalCoverSize(g, act, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 2 {
+		t.Errorf("minimal cover size = %d, want 2", min)
+	}
+}
+
+func TestCoverFlatGraph(t *testing.T) {
+	b := hgraph.NewBuilder("flat", "top")
+	b.Root().Vertex("a").Vertex("b")
+	g := b.MustBuild()
+	cov, err := Cover(g, allActive(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cov) != 1 {
+		t.Fatalf("flat graph cover size = %d, want 1 (the single behaviour)", len(cov))
+	}
+	if len(cov[0].Selection) != 0 {
+		t.Errorf("flat graph ecs selection = %v, want empty", cov[0].Selection)
+	}
+}
+
+func TestCoverEmptyActivatable(t *testing.T) {
+	g := buildSetTop(t)
+	cov, err := Cover(g, map[hgraph.ID]bool{})
+	if err != nil || cov != nil {
+		t.Errorf("empty activatable: cov=%v err=%v, want nil/nil", cov, err)
+	}
+}
+
+func TestCoverInconsistentSet(t *testing.T) {
+	g := buildSetTop(t)
+	// gG activatable but none of its game classes: forced chain for gG1
+	// is absent, and gG itself cannot be completed.
+	act := allActive(g)
+	act["gG1"], act["gG2"], act["gG3"] = false, false, false
+	if _, err := Cover(g, act); err == nil {
+		t.Error("inconsistent activatable set should fail (use flex.ActivatableClusters to normalize)")
+	}
+}
+
+func TestCoversHelper(t *testing.T) {
+	g := buildSetTop(t)
+	act := allActive(g)
+	if Covers(nil, act, g.Root.ID) {
+		t.Error("empty ecs set cannot cover")
+	}
+}
+
+func TestMinimalCoverSizeLimit(t *testing.T) {
+	g := buildSetTop(t)
+	if _, err := MinimalCoverSize(g, allActive(g), 5); err == nil {
+		t.Error("limit exceeded should error (10 ecs > 5)")
+	}
+	min, err := MinimalCoverSize(g, allActive(g), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 7 {
+		t.Errorf("minimal cover size = %d, want 7", min)
+	}
+}
+
+// Property: on random graphs with normalized random activations, Cover
+// succeeds, covers the set, and each ecs selects only activatable
+// clusters with a complete selection.
+func TestPropCoverSound(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := hgraphtest.Random(seed%400, hgraphtest.Options{})
+		raw := hgraphtest.RandomActivation(g, seed, 0.8)
+		raw[g.Root.ID] = true
+		act := flex.ActivatableClusters(g, flex.FromSet(raw))
+		cov, err := Cover(g, act)
+		if err != nil {
+			return false
+		}
+		if len(act) > 0 && !Covers(cov, act, g.Root.ID) {
+			return false
+		}
+		for _, e := range cov {
+			for _, cid := range e.Clusters {
+				if !act[cid] {
+					return false
+				}
+			}
+			if !g.Complete(e.Selection) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every enumerated ecs under a normalized activation uses
+// only activatable clusters, and distinct ecs have distinct selections.
+func TestPropEnumerateSound(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := hgraphtest.Random(seed%400, hgraphtest.Options{})
+		act := flex.ActivatableClusters(g, flex.AllActive)
+		seen := map[string]bool{}
+		ok := true
+		n := 0
+		Enumerate(g, act, func(e ECS) bool {
+			n++
+			key := e.Selection.String()
+			if seen[key] {
+				ok = false
+				return false
+			}
+			seen[key] = true
+			for _, cid := range e.Clusters {
+				if !act[cid] {
+					ok = false
+					return false
+				}
+			}
+			return n < 5000
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCover(b *testing.B) {
+	g := buildSetTop(b)
+	act := allActive(g)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cover(g, act); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerate(b *testing.B) {
+	g := buildSetTop(b)
+	act := allActive(g)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Count(g, act)
+	}
+}

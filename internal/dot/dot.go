@@ -1,0 +1,152 @@
+// Package dot renders hierarchical graphs and specification graphs in
+// Graphviz DOT format (clusters as nested subgraph boxes, interfaces as
+// double octagons, mapping edges as dotted lines, exactly the visual
+// vocabulary of the paper's Figs. 1, 2, 3 and 5), and emits
+// flexibility/cost trade-off curves as TSV series for plotting (Fig. 4).
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// Hierarchical renders a hierarchical graph as DOT. Every cluster
+// becomes a subgraph box, interfaces are drawn as double octagons, and
+// a dashed edge links each interface to its alternative refinement
+// clusters.
+func Hierarchical(g *hgraph.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  compound=true;\n  rankdir=TB;\n")
+	writeCluster(&b, g.Root, "  ")
+	// Edges last, collected globally (DOT allows cross-subgraph edges).
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", e.From, e.To, edgeAttrs(e))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func edgeAttrs(e *hgraph.Edge) string {
+	var labels []string
+	if e.FromPort != "" {
+		labels = append(labels, "tail="+e.FromPort)
+	}
+	if e.ToPort != "" {
+		labels = append(labels, "head="+e.ToPort)
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" [label=%q]", strings.Join(labels, ","))
+}
+
+func writeCluster(b *strings.Builder, c *hgraph.Cluster, indent string) {
+	fmt.Fprintf(b, "%ssubgraph \"cluster_%s\" {\n", indent, c.ID)
+	fmt.Fprintf(b, "%s  label=%q;\n", indent, c.Name)
+	for _, v := range c.Vertices {
+		fmt.Fprintf(b, "%s  %q [shape=ellipse];\n", indent, v.ID)
+	}
+	for _, i := range c.Interfaces {
+		fmt.Fprintf(b, "%s  %q [shape=doubleoctagon];\n", indent, i.ID)
+		for _, sub := range i.Clusters {
+			writeCluster(b, sub, indent+"  ")
+		}
+	}
+	fmt.Fprintf(b, "%s}\n", indent)
+	// Interface-to-cluster refinement links (outside the subgraph so
+	// they do not force layout containment).
+	for _, i := range c.Interfaces {
+		for _, sub := range i.Clusters {
+			if len(sub.Vertices) > 0 {
+				fmt.Fprintf(b, "%s%q -> %q [style=dashed, arrowhead=none, lhead=\"cluster_%s\"];\n",
+					indent, i.ID, sub.Vertices[0].ID, sub.ID)
+			}
+		}
+	}
+}
+
+// Specification renders a full specification graph: the problem graph
+// and architecture graph side by side with dotted mapping edges between
+// their leaves, annotated with execution latencies — the layout of the
+// paper's Fig. 2/Fig. 5.
+func Specification(s *spec.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", s.Name)
+	b.WriteString("  compound=true;\n  rankdir=LR;\n")
+	b.WriteString("  subgraph cluster_problem {\n    label=\"problem graph\";\n")
+	writeCluster(&b, s.Problem.Root, "    ")
+	for _, e := range s.Problem.Edges() {
+		fmt.Fprintf(&b, "    %q -> %q;\n", e.From, e.To)
+	}
+	b.WriteString("  }\n")
+	b.WriteString("  subgraph cluster_arch {\n    label=\"architecture graph\";\n")
+	writeCluster(&b, s.Arch.Root, "    ")
+	for _, e := range s.Arch.Edges() {
+		fmt.Fprintf(&b, "    %q -> %q [dir=none];\n", e.From, e.To)
+	}
+	b.WriteString("  }\n")
+	ms := append([]*spec.Mapping(nil), s.Mappings...)
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Process != ms[j].Process {
+			return ms[i].Process < ms[j].Process
+		}
+		return ms[i].Resource < ms[j].Resource
+	})
+	for _, m := range ms {
+		fmt.Fprintf(&b, "  %q -> %q [style=dotted, label=\"%g\"];\n", m.Process, m.Resource, m.Latency)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// TradeoffPoint is one design point of a flexibility/cost curve.
+type TradeoffPoint struct {
+	Cost        float64
+	Flexibility float64
+	Label       string
+}
+
+// TradeoffTSV emits a Fig. 4-style series: cost, flexibility,
+// 1/flexibility and a label per line, TSV, with a header. Points are
+// sorted by cost.
+func TradeoffTSV(points []TradeoffPoint) string {
+	ps := append([]TradeoffPoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Cost < ps[j].Cost })
+	var b strings.Builder
+	b.WriteString("cost\tflexibility\tinv_flexibility\tlabel\n")
+	for _, p := range ps {
+		inv := "inf"
+		if p.Flexibility > 0 {
+			inv = fmt.Sprintf("%g", 1/p.Flexibility)
+		}
+		fmt.Fprintf(&b, "%g\t%g\t%s\t%s\n", p.Cost, p.Flexibility, inv, p.Label)
+	}
+	return b.String()
+}
+
+// TimelinePoint is one phase of a timed activation for plotting.
+type TimelinePoint struct {
+	Start         float64
+	Behaviour     string
+	Configuration string
+}
+
+// TimelineTSV emits a timed activation as a TSV series (start time,
+// behaviour, architecture configuration), sorted by start — the
+// plottable form of the adaptive-system schedules packages activation
+// and sim produce.
+func TimelineTSV(points []TimelinePoint) string {
+	ps := append([]TimelinePoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Start < ps[j].Start })
+	var b strings.Builder
+	b.WriteString("start\tbehaviour\tconfiguration\n")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%g\t%s\t%s\n", p.Start, p.Behaviour, p.Configuration)
+	}
+	return b.String()
+}

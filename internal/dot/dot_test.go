@@ -1,0 +1,97 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestHierarchicalContainsStructure(t *testing.T) {
+	g := models.SetTopProblem()
+	out := Hierarchical(g)
+	for _, want := range []string{
+		"digraph \"settop-problem\"",
+		"subgraph \"cluster_gD\"",
+		"subgraph \"cluster_gG1\"",
+		"\"IApp\" [shape=doubleoctagon]",
+		"\"PCI\" [shape=ellipse]",
+		"style=dashed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output lacks %q", want)
+		}
+	}
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestHierarchicalDeterministic(t *testing.T) {
+	g := models.SetTopProblem()
+	if Hierarchical(g) != Hierarchical(g) {
+		t.Error("output not deterministic")
+	}
+}
+
+func TestSpecificationContainsMappings(t *testing.T) {
+	s := models.Decoder()
+	out := Specification(s)
+	for _, want := range []string{
+		"cluster_problem",
+		"cluster_arch",
+		`"PU1" -> "uP" [style=dotted, label="40"]`,
+		`"PU1" -> "A" [style=dotted, label="15"]`,
+		"subgraph \"cluster_dD3\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spec DOT lacks %q", want)
+		}
+	}
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestTradeoffTSV(t *testing.T) {
+	out := TradeoffTSV([]TradeoffPoint{
+		{Cost: 230, Flexibility: 4, Label: "x"},
+		{Cost: 100, Flexibility: 2, Label: "uP2"},
+		{Cost: 50, Flexibility: 0, Label: "infeasible"},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + 3", len(lines))
+	}
+	if lines[0] != "cost\tflexibility\tinv_flexibility\tlabel" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "50\t0\tinf") {
+		t.Errorf("rows not sorted by cost or inf missing: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "100\t2\t0.5") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func BenchmarkSpecificationDOT(b *testing.B) {
+	s := models.SetTopBox()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Specification(s)
+	}
+}
+
+func TestTimelineTSV(t *testing.T) {
+	out := TimelineTSV([]TimelinePoint{
+		{Start: 100, Behaviour: "game", Configuration: "FPGA=G1"},
+		{Start: 0, Behaviour: "tv", Configuration: "FPGA=D3"},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 || lines[0] != "start\tbehaviour\tconfiguration" {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "0\ttv") || !strings.HasPrefix(lines[2], "100\tgame") {
+		t.Errorf("rows unsorted:\n%s", out)
+	}
+}

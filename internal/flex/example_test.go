@@ -1,0 +1,57 @@
+package flex_test
+
+import (
+	"fmt"
+
+	"repro/internal/flex"
+	"repro/internal/hgraph"
+)
+
+// The paper's Fig. 3 equation: a Set-Top box family whose application
+// interface offers an Internet browser, a game console with three game
+// classes, and a digital TV decoder with three decryptions and two
+// uncompressions.
+func Example() {
+	b := hgraph.NewBuilder("settop", "GP")
+	app := b.Root().Interface("IApp")
+	app.Cluster("browser").Vertex("P_parse")
+
+	game := app.Cluster("game")
+	game.Vertex("P_ctrl")
+	core := game.Interface("IGameCore", hgraph.Port{Name: "p"})
+	core.Cluster("class1").Vertex("G1").Bind("p", "G1")
+	core.Cluster("class2").Vertex("G2").Bind("p", "G2")
+	core.Cluster("class3").Vertex("G3").Bind("p", "G3")
+
+	tv := app.Cluster("tv")
+	tv.Vertex("P_auth")
+	dec := tv.Interface("IDecrypt", hgraph.Port{Name: "p"})
+	dec.Cluster("d1").Vertex("D1").Bind("p", "D1")
+	dec.Cluster("d2").Vertex("D2").Bind("p", "D2")
+	dec.Cluster("d3").Vertex("D3").Bind("p", "D3")
+	unc := tv.Interface("IUncompress", hgraph.Port{Name: "p"})
+	unc.Cluster("u1").Vertex("U1").Bind("p", "U1")
+	unc.Cluster("u2").Vertex("U2").Bind("p", "U2")
+
+	g := b.MustBuild()
+	fmt.Println("max flexibility:", flex.MaxFlexibility(g))
+	fmt.Println("without game:   ", flex.Flexibility(g, flex.Except(flex.AllActive, "game")))
+	// Output:
+	// max flexibility: 8
+	// without game:    5
+}
+
+func ExampleFlexibility() {
+	b := hgraph.NewBuilder("simple", "top")
+	i := b.Root().Interface("I")
+	i.Cluster("a").Vertex("va")
+	i.Cluster("b").Vertex("vb")
+	g := b.MustBuild()
+
+	// Both alternatives implementable: flexibility 2; only one: 1.
+	fmt.Println(flex.Flexibility(g, flex.AllActive))
+	fmt.Println(flex.Flexibility(g, flex.Except(flex.AllActive, "b")))
+	// Output:
+	// 2
+	// 1
+}

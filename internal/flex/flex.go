@@ -1,0 +1,168 @@
+// Package flex implements the flexibility metric of Definition 4 in
+// "System Design for Flexibility" (DATE 2002).
+//
+// The flexibility of a cluster γ, if ever activated, is the sum of the
+// flexibilities of all its interfaces minus (number of interfaces − 1);
+// a cluster without interfaces has flexibility 1; a never-activated
+// cluster has flexibility 0. The flexibility of an interface is the sum
+// of the flexibilities of its clusters. The future-activation indicator
+// a⁺(γ) is supplied by the caller (for maximum flexibility every cluster
+// is activatable; for implemented flexibility only clusters that are
+// part of a feasible implementation count).
+//
+// The package also provides the weighted variant suggested by the
+// paper's footnote 2, where each cluster carries a weight (attribute
+// "weight", default 1) expressing the relative worth of the behaviour
+// it implements.
+package flex
+
+import (
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// Activation is the future-activation indicator a⁺: it reports whether
+// the cluster with the given ID will ever be selected. The root cluster
+// is queried as well (a⁺(G_P) in the paper's worked equation).
+type Activation func(hgraph.ID) bool
+
+// AllActive is the activation under which every cluster is activatable;
+// it yields the maximum flexibility of a graph.
+func AllActive(hgraph.ID) bool { return true }
+
+// FromSet adapts a set of activatable cluster IDs to an Activation.
+func FromSet(active map[hgraph.ID]bool) Activation {
+	return func(id hgraph.ID) bool { return active[id] }
+}
+
+// Except returns an activation that is act minus the listed clusters.
+func Except(act Activation, excluded ...hgraph.ID) Activation {
+	ex := map[hgraph.ID]bool{}
+	for _, id := range excluded {
+		ex[id] = true
+	}
+	return func(id hgraph.ID) bool { return !ex[id] && act(id) }
+}
+
+// Flexibility computes f_impl(G) of a hierarchical (problem) graph under
+// the activation a⁺ — Definition 4 applied to the root cluster.
+//
+// One consequence of the hierarchical activation rules is made explicit
+// here: a cluster containing an interface none of whose clusters is
+// activatable can itself never be activated (rule 1 would be violated),
+// so its flexibility is 0 regardless of a⁺.
+func Flexibility(g *hgraph.Graph, act Activation) float64 {
+	return clusterFlex(g.Root, act, nil)
+}
+
+// MaxFlexibility is Flexibility under AllActive: the flexibility
+// obtained if all clusters can be activated in future implementations.
+func MaxFlexibility(g *hgraph.Graph) float64 {
+	return Flexibility(g, AllActive)
+}
+
+// WeightedFlexibility computes the footnote-2 variant: every cluster's
+// contribution is scaled by its "weight" attribute (default 1). With
+// all weights 1 it coincides with Flexibility.
+func WeightedFlexibility(g *hgraph.Graph, act Activation) float64 {
+	return clusterFlex(g.Root, act, func(c *hgraph.Cluster) float64 {
+		return c.Attrs.GetDefault(spec.AttrWeight, 1)
+	})
+}
+
+// clusterFlex evaluates Definition 4 on one cluster. weight is nil for
+// the unweighted metric.
+func clusterFlex(c *hgraph.Cluster, act Activation, weight func(*hgraph.Cluster) float64) float64 {
+	if !act(c.ID) {
+		return 0
+	}
+	w := 1.0
+	if weight != nil {
+		w = weight(c)
+	}
+	if len(c.Interfaces) == 0 {
+		return w
+	}
+	total := 0.0
+	for _, i := range c.Interfaces {
+		sum := 0.0
+		for _, sub := range i.Clusters {
+			sum += clusterFlex(sub, act, weight)
+		}
+		if sum == 0 {
+			// No activatable refinement for this interface: the cluster
+			// can never be activated (activation rule 1).
+			return 0
+		}
+		total += sum
+	}
+	return w * (total - float64(len(c.Interfaces)-1))
+}
+
+// InterfaceFlexibility computes the flexibility of a single interface:
+// the sum of the flexibilities of its clusters.
+func InterfaceFlexibility(i *hgraph.Interface, act Activation) float64 {
+	sum := 0.0
+	for _, sub := range i.Clusters {
+		sum += clusterFlex(sub, act, nil)
+	}
+	return sum
+}
+
+// ClusterFlexibility computes Definition 4 on one cluster of the graph.
+func ClusterFlexibility(c *hgraph.Cluster, act Activation) float64 {
+	return clusterFlex(c, act, nil)
+}
+
+// ActivatableClusters returns, given an activation, the set of cluster
+// IDs that can actually be activated under the hierarchical activation
+// rules: a cluster is effectively activatable iff a⁺ holds for it, its
+// owner interface belongs to an effectively activatable cluster, and
+// every one of its interfaces has at least one effectively activatable
+// cluster. The root is subject to a⁺ like any other cluster, matching
+// the a⁺(G_P) factor of the paper's worked equation. Normalizing an
+// activation through this set leaves Flexibility unchanged.
+func ActivatableClusters(g *hgraph.Graph, act Activation) map[hgraph.ID]bool {
+	out := map[hgraph.ID]bool{}
+	memo := map[hgraph.ID]bool{}
+	var ok func(c *hgraph.Cluster) bool
+	ok = func(c *hgraph.Cluster) bool {
+		if v, seen := memo[c.ID]; seen {
+			return v
+		}
+		res := act(c.ID)
+		if res {
+			for _, i := range c.Interfaces {
+				any := false
+				for _, sub := range i.Clusters {
+					if ok(sub) {
+						any = true
+					}
+				}
+				if !any {
+					res = false
+					break
+				}
+			}
+		}
+		memo[c.ID] = res
+		return res
+	}
+	// Evaluate all clusters so the memo is complete even under early
+	// failures, then mark top-down: a cluster is in the result only if
+	// its whole ancestor chain is activatable.
+	var mark func(c *hgraph.Cluster)
+	mark = func(c *hgraph.Cluster) {
+		if !ok(c) {
+			return
+		}
+		out[c.ID] = true
+		for _, i := range c.Interfaces {
+			for _, sub := range i.Clusters {
+				mark(sub)
+			}
+		}
+	}
+	mark(g.Root)
+	return out
+}

@@ -1,0 +1,159 @@
+package hgraph
+
+import "fmt"
+
+// Builder constructs hierarchical graphs with error accumulation: every
+// construction method records problems instead of failing immediately,
+// and Build reports them all at once. This keeps model definitions —
+// which are naturally long and declarative — free of per-call error
+// handling while still surfacing every mistake.
+type Builder struct {
+	name string
+	root *clusterBuilder
+	errs []error
+}
+
+// NewBuilder creates a builder for a hierarchical graph whose top level
+// is the root cluster with the given IDs.
+func NewBuilder(graphName string, rootID ID) *Builder {
+	b := &Builder{name: graphName}
+	b.root = &clusterBuilder{b: b, c: &Cluster{ID: rootID, Name: string(rootID)}}
+	return b
+}
+
+// Root returns the builder for the top-level cluster.
+func (b *Builder) Root() *ClusterBuilder { return (*ClusterBuilder)(b.root) }
+
+// Build validates and returns the constructed graph.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("hgraph: %d construction error(s), first: %w", len(b.errs), b.errs[0])
+	}
+	return New(b.name, b.root.c)
+}
+
+// MustBuild is like Build but panics on error; intended for statically
+// known models.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+type clusterBuilder struct {
+	b *Builder
+	c *Cluster
+}
+
+// ClusterBuilder adds elements to one cluster.
+type ClusterBuilder clusterBuilder
+
+// Attr sets an attribute on the cluster.
+func (cb *ClusterBuilder) Attr(key string, val float64) *ClusterBuilder {
+	if cb.c.Attrs == nil {
+		cb.c.Attrs = Attrs{}
+	}
+	cb.c.Attrs[key] = val
+	return cb
+}
+
+// Vertex adds a non-hierarchical vertex with optional attributes given
+// as alternating key, value pairs (keys must be strings, values
+// float64-convertible numbers are supplied as float64).
+func (cb *ClusterBuilder) Vertex(id ID, attrs ...any) *ClusterBuilder {
+	v := &Vertex{ID: id, Name: string(id)}
+	v.Attrs = cb.parseAttrs(id, attrs)
+	cb.c.Vertices = append(cb.c.Vertices, v)
+	return cb
+}
+
+func (cb *ClusterBuilder) parseAttrs(owner ID, attrs []any) Attrs {
+	if len(attrs) == 0 {
+		return nil
+	}
+	if len(attrs)%2 != 0 {
+		cb.b.errorf("element %s: odd attribute list", owner)
+		return nil
+	}
+	a := Attrs{}
+	for i := 0; i < len(attrs); i += 2 {
+		k, ok := attrs[i].(string)
+		if !ok {
+			cb.b.errorf("element %s: attribute key %v is not a string", owner, attrs[i])
+			continue
+		}
+		switch val := attrs[i+1].(type) {
+		case float64:
+			a[k] = val
+		case int:
+			a[k] = float64(val)
+		default:
+			cb.b.errorf("element %s: attribute %s has non-numeric value %v", owner, k, attrs[i+1])
+		}
+	}
+	return a
+}
+
+// Edge adds a directed dependence edge between two local nodes. The
+// edge ID is synthesized from the endpoints.
+func (cb *ClusterBuilder) Edge(from, to ID) *ClusterBuilder {
+	return cb.PortEdge(from, "", to, "")
+}
+
+// PortEdge adds a directed edge where either endpoint may be an
+// interface; fromPort/toPort name the interface ports used ("" for
+// vertex endpoints).
+func (cb *ClusterBuilder) PortEdge(from ID, fromPort string, to ID, toPort string) *ClusterBuilder {
+	id := ID(fmt.Sprintf("%s:%s->%s", cb.c.ID, from, to))
+	cb.c.Edges = append(cb.c.Edges, &Edge{ID: id, From: from, FromPort: fromPort, To: to, ToPort: toPort})
+	return cb
+}
+
+// Interface adds an interface (hierarchical vertex) with the given
+// ports and returns its builder so that alternative clusters can be
+// attached.
+func (cb *ClusterBuilder) Interface(id ID, ports ...Port) *InterfaceBuilder {
+	i := &Interface{ID: id, Name: string(id), Ports: ports}
+	cb.c.Interfaces = append(cb.c.Interfaces, i)
+	return &InterfaceBuilder{b: cb.b, i: i}
+}
+
+// Bind records a port binding of this cluster: port name → internal
+// node ID. Only meaningful for clusters that refine an interface.
+func (cb *ClusterBuilder) Bind(port string, node ID) *ClusterBuilder {
+	if cb.c.PortBinding == nil {
+		cb.c.PortBinding = map[string]ID{}
+	}
+	cb.c.PortBinding[port] = node
+	return cb
+}
+
+// InterfaceBuilder attaches alternative refinement clusters to one
+// interface.
+type InterfaceBuilder struct {
+	b *Builder
+	i *Interface
+}
+
+// Attr sets an attribute on the interface.
+func (ib *InterfaceBuilder) Attr(key string, val float64) *InterfaceBuilder {
+	if ib.i.Attrs == nil {
+		ib.i.Attrs = Attrs{}
+	}
+	ib.i.Attrs[key] = val
+	return ib
+}
+
+// Cluster adds an alternative refinement cluster to the interface and
+// returns its builder.
+func (ib *InterfaceBuilder) Cluster(id ID) *ClusterBuilder {
+	c := &Cluster{ID: id, Name: string(id)}
+	ib.i.Clusters = append(ib.i.Clusters, c)
+	return (*ClusterBuilder)(&clusterBuilder{b: ib.b, c: c})
+}

@@ -1,0 +1,327 @@
+package hgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Selection assigns to interfaces the cluster chosen to refine them
+// (cluster selection in the paper). A selection needs entries only for
+// interfaces that are active, i.e. reachable from the root through
+// selected clusters. Selecting exactly one cluster per active interface
+// corresponds to an elementary cluster selection; flattening such a
+// selection yields a non-hierarchical graph.
+type Selection map[ID]ID
+
+// Clone returns a copy of the selection.
+func (s Selection) Clone() Selection {
+	c := make(Selection, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// String renders the selection deterministically (sorted by interface).
+func (s Selection) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	out := "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += k + "=" + string(s[ID(k)])
+	}
+	return out + "}"
+}
+
+// ActiveInterfaces returns the interfaces that are active under the
+// given (possibly partial) selection: interfaces of the root cluster
+// and, recursively, of every selected cluster. Interfaces whose
+// selection is missing are included (they are active but unresolved).
+func (g *Graph) ActiveInterfaces(sel Selection) []*Interface {
+	var out []*Interface
+	var walk func(c *Cluster)
+	walk = func(c *Cluster) {
+		for _, i := range c.Interfaces {
+			out = append(out, i)
+			if cid, ok := sel[i.ID]; ok {
+				if sub := i.Cluster(cid); sub != nil {
+					walk(sub)
+				}
+			}
+		}
+	}
+	walk(g.Root)
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ActiveClusters returns the IDs of all clusters activated by the
+// selection, always including the root (rule 2 of hierarchical
+// activation: activating a cluster activates its content; the root is
+// always activated). The result is sorted.
+func (g *Graph) ActiveClusters(sel Selection) []ID {
+	out := []ID{g.Root.ID}
+	var walk func(c *Cluster)
+	walk = func(c *Cluster) {
+		for _, i := range c.Interfaces {
+			cid, ok := sel[i.ID]
+			if !ok {
+				continue
+			}
+			if sub := i.Cluster(cid); sub != nil {
+				out = append(out, sub.ID)
+				walk(sub)
+			}
+		}
+	}
+	walk(g.Root)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Complete reports whether the selection assigns a valid cluster to
+// every active interface.
+func (g *Graph) Complete(sel Selection) bool {
+	ok := true
+	var walk func(c *Cluster)
+	walk = func(c *Cluster) {
+		for _, i := range c.Interfaces {
+			cid, has := sel[i.ID]
+			if !has {
+				ok = false
+				continue
+			}
+			sub := i.Cluster(cid)
+			if sub == nil {
+				ok = false
+				continue
+			}
+			walk(sub)
+		}
+	}
+	walk(g.Root)
+	return ok
+}
+
+// EnumerateSelections calls fn for every elementary cluster selection
+// (every complete selection) of the graph, in a deterministic order.
+// The selection passed to fn is reused between calls; clone it if it
+// must be retained. Enumeration stops early if fn returns false.
+func (g *Graph) EnumerateSelections(fn func(Selection) bool) {
+	sel := Selection{}
+	g.enumCluster(g.Root, sel, func() bool { return fn(sel) })
+}
+
+// enumCluster enumerates selections for the interfaces of cluster c
+// (and, nested, of the clusters those selections activate), then calls
+// done. It returns false if enumeration should stop.
+func (g *Graph) enumCluster(c *Cluster, sel Selection, done func() bool) bool {
+	return g.enumInterfaces(c.Interfaces, 0, sel, done)
+}
+
+func (g *Graph) enumInterfaces(ifs []*Interface, k int, sel Selection, done func() bool) bool {
+	if k == len(ifs) {
+		return done()
+	}
+	i := ifs[k]
+	for _, sub := range i.Clusters {
+		sel[i.ID] = sub.ID
+		cont := g.enumCluster(sub, sel, func() bool {
+			return g.enumInterfaces(ifs, k+1, sel, done)
+		})
+		delete(sel, i.ID)
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// Selections returns all elementary cluster selections materialized as
+// independent maps. Prefer EnumerateSelections for large graphs.
+func (g *Graph) Selections() []Selection {
+	var out []Selection
+	g.EnumerateSelections(func(s Selection) bool {
+		out = append(out, s.Clone())
+		return true
+	})
+	return out
+}
+
+// FlatEdge is a dependence edge of a flattened graph; interface
+// endpoints of the original edge have been resolved through port
+// bindings to leaf vertices.
+type FlatEdge struct {
+	From, To ID
+	Orig     *Edge
+}
+
+// FlatGraph is the non-hierarchical graph obtained by flattening a
+// hierarchical graph under an elementary cluster selection.
+type FlatGraph struct {
+	Name     string
+	Vertices []*Vertex
+	Edges    []FlatEdge
+
+	succ map[ID][]ID
+	pred map[ID][]ID
+}
+
+// Flatten resolves the hierarchy under the given selection: it
+// activates the root's content and, for every active interface, the
+// content of the selected cluster (hierarchical activation rules 1–2),
+// and reroutes edges that attach to interface ports to the vertices the
+// selected clusters bind those ports to. The selection must be complete.
+func (g *Graph) Flatten(sel Selection) (*FlatGraph, error) {
+	if !g.Complete(sel) {
+		return nil, fmt.Errorf("hgraph %q: selection %v is not complete", g.Name, sel)
+	}
+	fg := &FlatGraph{Name: g.Name}
+	var rawEdges []*Edge
+	var walk func(c *Cluster)
+	walk = func(c *Cluster) {
+		fg.Vertices = append(fg.Vertices, c.Vertices...)
+		rawEdges = append(rawEdges, c.Edges...)
+		for _, i := range c.Interfaces {
+			sub := i.Cluster(sel[i.ID])
+			walk(sub)
+		}
+	}
+	walk(g.Root)
+
+	for _, e := range rawEdges {
+		from, err := g.resolveEndpoint(e.From, e.FromPort, sel)
+		if err != nil {
+			return nil, fmt.Errorf("edge %q: %w", e.ID, err)
+		}
+		to, err := g.resolveEndpoint(e.To, e.ToPort, sel)
+		if err != nil {
+			return nil, fmt.Errorf("edge %q: %w", e.ID, err)
+		}
+		fg.Edges = append(fg.Edges, FlatEdge{From: from, To: to, Orig: e})
+	}
+	sort.Slice(fg.Vertices, func(a, b int) bool { return fg.Vertices[a].ID < fg.Vertices[b].ID })
+	sort.Slice(fg.Edges, func(a, b int) bool {
+		if fg.Edges[a].From != fg.Edges[b].From {
+			return fg.Edges[a].From < fg.Edges[b].From
+		}
+		return fg.Edges[a].To < fg.Edges[b].To
+	})
+	return fg, nil
+}
+
+// resolveEndpoint maps an edge endpoint to a leaf vertex: vertex
+// endpoints map to themselves, interface endpoints resolve through the
+// selected cluster's port binding; when a binding targets a nested
+// interface, resolution continues with the same port name on the nested
+// interface.
+func (g *Graph) resolveEndpoint(id ID, port string, sel Selection) (ID, error) {
+	for {
+		if g.VertexByID(id) != nil {
+			return id, nil
+		}
+		iface := g.InterfaceByID(id)
+		if iface == nil {
+			return "", fmt.Errorf("endpoint %q is neither vertex nor interface", id)
+		}
+		cid, ok := sel[iface.ID]
+		if !ok {
+			return "", fmt.Errorf("interface %q unresolved in selection", id)
+		}
+		sub := iface.Cluster(cid)
+		if sub == nil {
+			return "", fmt.Errorf("interface %q: selected cluster %q unknown", id, cid)
+		}
+		target, ok := sub.PortBinding[port]
+		if !ok {
+			return "", fmt.Errorf("cluster %q: no binding for port %q", cid, port)
+		}
+		id = target
+	}
+}
+
+// VertexByID returns the flat graph's vertex with the given ID, or nil.
+func (fg *FlatGraph) VertexByID(id ID) *Vertex {
+	for _, v := range fg.Vertices {
+		if v.ID == id {
+			return v
+		}
+	}
+	return nil
+}
+
+func (fg *FlatGraph) buildAdjacency() {
+	if fg.succ != nil {
+		return
+	}
+	fg.succ = map[ID][]ID{}
+	fg.pred = map[ID][]ID{}
+	for _, e := range fg.Edges {
+		fg.succ[e.From] = append(fg.succ[e.From], e.To)
+		fg.pred[e.To] = append(fg.pred[e.To], e.From)
+	}
+}
+
+// Successors returns the direct successors of a vertex.
+func (fg *FlatGraph) Successors(id ID) []ID {
+	fg.buildAdjacency()
+	return fg.succ[id]
+}
+
+// Predecessors returns the direct predecessors of a vertex.
+func (fg *FlatGraph) Predecessors(id ID) []ID {
+	fg.buildAdjacency()
+	return fg.pred[id]
+}
+
+// TopoSort returns a topological order of the flat graph's vertices or
+// an error if the graph contains a dependence cycle. Ties are broken by
+// vertex ID so the order is deterministic.
+func (fg *FlatGraph) TopoSort() ([]*Vertex, error) {
+	fg.buildAdjacency()
+	indeg := map[ID]int{}
+	for _, v := range fg.Vertices {
+		indeg[v.ID] = 0
+	}
+	for _, e := range fg.Edges {
+		indeg[e.To]++
+	}
+	var ready []ID
+	for _, v := range fg.Vertices {
+		if indeg[v.ID] == 0 {
+			ready = append(ready, v.ID)
+		}
+	}
+	sort.Slice(ready, func(a, b int) bool { return ready[a] < ready[b] })
+	var order []*Vertex
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, fg.VertexByID(id))
+		next := append([]ID(nil), fg.succ[id]...)
+		sort.Slice(next, func(a, b int) bool { return next[a] < next[b] })
+		for _, s := range next {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool { return ready[a] < ready[b] })
+	}
+	if len(order) != len(fg.Vertices) {
+		return nil, fmt.Errorf("flat graph %q contains a dependence cycle", fg.Name)
+	}
+	return order, nil
+}
+
+// IsAcyclic reports whether the flat graph is a DAG.
+func (fg *FlatGraph) IsAcyclic() bool {
+	_, err := fg.TopoSort()
+	return err == nil
+}

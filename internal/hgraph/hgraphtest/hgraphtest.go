@@ -1,0 +1,90 @@
+// Package hgraphtest provides deterministic random hierarchical graphs
+// for property-based tests of packages building on hgraph.
+package hgraphtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hgraph"
+)
+
+// Options bounds the shape of generated graphs.
+type Options struct {
+	MaxDepth      int // maximum nesting depth (default 3)
+	MaxVertices   int // max vertices per cluster (default 3, min 1)
+	MaxInterfaces int // max interfaces per cluster below the root (default 2)
+	MaxClusters   int // max alternative clusters per interface (default 3, min 1)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	if o.MaxVertices == 0 {
+		o.MaxVertices = 3
+	}
+	if o.MaxInterfaces == 0 {
+		o.MaxInterfaces = 2
+	}
+	if o.MaxClusters == 0 {
+		o.MaxClusters = 3
+	}
+	return o
+}
+
+// Random builds a random but structurally valid hierarchical graph from
+// a seed. The same seed always yields the same graph.
+func Random(seed int64, opts Options) *hgraph.Graph {
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	counter := 0
+	nextID := func(prefix string) hgraph.ID {
+		counter++
+		return hgraph.ID(fmt.Sprintf("%s%d", prefix, counter))
+	}
+	var fill func(cb *hgraph.ClusterBuilder, depth int) hgraph.ID
+	fill = func(cb *hgraph.ClusterBuilder, depth int) hgraph.ID {
+		nv := 1 + rng.Intn(o.MaxVertices)
+		var first hgraph.ID
+		var prev hgraph.ID
+		for k := 0; k < nv; k++ {
+			id := nextID("v")
+			cb.Vertex(id)
+			if k == 0 {
+				first = id
+			} else if rng.Intn(2) == 0 {
+				cb.Edge(prev, id)
+			}
+			prev = id
+		}
+		if depth > 0 {
+			ni := rng.Intn(o.MaxInterfaces + 1)
+			for k := 0; k < ni; k++ {
+				ib := cb.Interface(nextID("i"), hgraph.Port{Name: "p", Dir: hgraph.In})
+				nc := 1 + rng.Intn(o.MaxClusters)
+				for j := 0; j < nc; j++ {
+					sub := ib.Cluster(nextID("g"))
+					inner := fill(sub, depth-1)
+					sub.Bind("p", inner)
+				}
+			}
+		}
+		return first
+	}
+	b := hgraph.NewBuilder(fmt.Sprintf("rand%d", seed), "root")
+	fill(b.Root(), 1+rng.Intn(o.MaxDepth))
+	return b.MustBuild()
+}
+
+// RandomActivation returns a deterministic pseudo-random activation over
+// the graph's clusters: each cluster (root included) is active with
+// probability pActive.
+func RandomActivation(g *hgraph.Graph, seed int64, pActive float64) map[hgraph.ID]bool {
+	rng := rand.New(rand.NewSource(seed))
+	act := map[hgraph.ID]bool{}
+	for _, c := range g.Clusters() {
+		act[c.ID] = rng.Float64() < pActive
+	}
+	return act
+}

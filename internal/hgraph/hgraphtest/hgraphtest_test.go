@@ -1,0 +1,48 @@
+package hgraphtest
+
+import "testing"
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(5, Options{})
+	b := Random(5, Options{})
+	av, ai, ac, ae := a.ElementCount()
+	bv, bi, bc, be := b.ElementCount()
+	if av != bv || ai != bi || ac != bc || ae != be {
+		t.Error("same seed must produce identical shapes")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRespectsOptions(t *testing.T) {
+	g := Random(9, Options{MaxDepth: 1, MaxVertices: 1, MaxInterfaces: 1, MaxClusters: 1})
+	if d := g.Depth(); d > 1 {
+		t.Errorf("depth = %d, want <= 1", d)
+	}
+	for _, c := range g.Clusters() {
+		if len(c.Vertices) > 1 {
+			t.Errorf("cluster %s has %d vertices", c.ID, len(c.Vertices))
+		}
+		if len(c.Interfaces) > 1 {
+			t.Errorf("cluster %s has %d interfaces", c.ID, len(c.Interfaces))
+		}
+	}
+}
+
+func TestRandomActivation(t *testing.T) {
+	g := Random(3, Options{})
+	all := RandomActivation(g, 1, 1.0)
+	none := RandomActivation(g, 1, 0.0)
+	for _, c := range g.Clusters() {
+		if !all[c.ID] {
+			t.Errorf("p=1 should activate %s", c.ID)
+		}
+		if none[c.ID] {
+			t.Errorf("p=0 should not activate %s", c.ID)
+		}
+	}
+	if len(all) != len(g.Clusters()) {
+		t.Error("activation must cover all clusters")
+	}
+}

@@ -1,0 +1,47 @@
+package hgraph
+
+import "fmt"
+
+// AddCluster attaches a new alternative refinement cluster to the
+// interface with the given ID and revalidates the graph — the
+// specification-evolution primitive behind incremental design: a new
+// behaviour variant (a new decryption standard, a new game class)
+// arrives after the platform shipped. On error the graph is left
+// unchanged.
+func (g *Graph) AddCluster(interfaceID ID, c *Cluster) error {
+	iface := g.InterfaceByID(interfaceID)
+	if iface == nil {
+		return fmt.Errorf("hgraph %q: no interface %q", g.Name, interfaceID)
+	}
+	iface.Clusters = append(iface.Clusters, c)
+	if err := g.Validate(); err != nil {
+		iface.Clusters = iface.Clusters[:len(iface.Clusters)-1]
+		return fmt.Errorf("hgraph %q: adding cluster %q: %w", g.Name, c.ID, err)
+	}
+	g.idx = nil // reindex lazily
+	return nil
+}
+
+// RemoveCluster detaches the cluster with the given ID from its
+// interface (e.g. a discontinued behaviour variant). Removing the last
+// cluster of an interface is rejected — an interface without
+// refinements violates the model. On error the graph is unchanged.
+func (g *Graph) RemoveCluster(clusterID ID) error {
+	owner := g.OwnerInterface(clusterID)
+	if owner == nil {
+		return fmt.Errorf("hgraph %q: no removable cluster %q (unknown or root)", g.Name, clusterID)
+	}
+	if len(owner.Clusters) == 1 {
+		return fmt.Errorf("hgraph %q: cannot remove last cluster %q of interface %q",
+			g.Name, clusterID, owner.ID)
+	}
+	kept := owner.Clusters[:0]
+	for _, c := range owner.Clusters {
+		if c.ID != clusterID {
+			kept = append(kept, c)
+		}
+	}
+	owner.Clusters = kept
+	g.idx = nil
+	return nil
+}

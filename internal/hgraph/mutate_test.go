@@ -1,0 +1,82 @@
+package hgraph
+
+import "testing"
+
+func TestAddCluster(t *testing.T) {
+	g := buildDecoder(t)
+	c := &Cluster{
+		ID: "gD4", Name: "gD4",
+		Vertices:    []*Vertex{{ID: "PD4"}},
+		PortBinding: map[string]ID{"in": "PD4", "out": "PD4"},
+	}
+	if err := g.AddCluster("ID", c); err != nil {
+		t.Fatal(err)
+	}
+	if g.ClusterByID("gD4") == nil || g.VertexByID("PD4") == nil {
+		t.Error("added cluster not indexed")
+	}
+	if got := g.CountVariants(); got != 8 {
+		t.Errorf("variants = %d, want 4*2 = 8", got)
+	}
+	if o := g.OwnerInterface("gD4"); o == nil || o.ID != "ID" {
+		t.Errorf("owner = %v", o)
+	}
+	// Flattening through the new cluster works (port bindings applied).
+	fg, err := g.Flatten(Selection{"ID": "gD4", "IU": "gU1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.VertexByID("PD4") == nil {
+		t.Error("flatten through added cluster failed")
+	}
+}
+
+func TestAddClusterErrors(t *testing.T) {
+	g := buildDecoder(t)
+	if err := g.AddCluster("nope", &Cluster{ID: "x"}); err == nil {
+		t.Error("unknown interface must fail")
+	}
+	// Duplicate ID: rolled back.
+	if err := g.AddCluster("ID", &Cluster{ID: "gD1"}); err == nil {
+		t.Error("duplicate ID must fail")
+	}
+	// Missing port binding: rolled back.
+	bad := &Cluster{ID: "gDx", Vertices: []*Vertex{{ID: "PDx"}}}
+	if err := g.AddCluster("ID", bad); err == nil {
+		t.Error("missing port binding must fail")
+	}
+	if g.ClusterByID("gDx") != nil || g.ClusterByID("x") != nil {
+		t.Error("failed additions left clusters behind")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("graph corrupted: %v", err)
+	}
+}
+
+func TestRemoveCluster(t *testing.T) {
+	g := buildDecoder(t)
+	if err := g.RemoveCluster("gD3"); err != nil {
+		t.Fatal(err)
+	}
+	if g.ClusterByID("gD3") != nil || g.VertexByID("PD3") != nil {
+		t.Error("removed cluster still indexed")
+	}
+	if got := g.CountVariants(); got != 4 {
+		t.Errorf("variants = %d, want 2*2 = 4", got)
+	}
+	if err := g.RemoveCluster("gU1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveCluster("gU2"); err == nil {
+		t.Error("removing the last cluster must fail")
+	}
+	if err := g.RemoveCluster("top"); err == nil {
+		t.Error("removing the root must fail")
+	}
+	if err := g.RemoveCluster("ghost"); err == nil {
+		t.Error("unknown cluster must fail")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("graph invalid after removals: %v", err)
+	}
+}

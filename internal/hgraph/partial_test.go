@@ -1,0 +1,191 @@
+package hgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildArchLike constructs an architecture-style graph: two fixed
+// resources, a bus, and a reconfigurable interface with two designs,
+// where the bus connects a resource to the interface.
+func buildArchLike(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder("arch", "top")
+	r := b.Root()
+	r.Vertex("P1").Vertex("BUS")
+	fpga := r.Interface("FPGA", Port{Name: "bus"})
+	fpga.Cluster("d1").Vertex("R1").Bind("bus", "R1")
+	fpga.Cluster("d2").Vertex("R2").Bind("bus", "R2")
+	r.Edge("P1", "BUS")
+	r.PortEdge("BUS", "", "FPGA", "bus")
+	return b.MustBuild()
+}
+
+func TestFlattenPartialDropsInactiveInterface(t *testing.T) {
+	g := buildArchLike(t)
+	fg, err := g.FlattenPartial(Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Vertices) != 2 {
+		t.Errorf("vertices = %d, want 2 (P1, BUS)", len(fg.Vertices))
+	}
+	if len(fg.Edges) != 1 {
+		t.Errorf("edges = %d, want 1 (P1-BUS; BUS-FPGA dropped)", len(fg.Edges))
+	}
+}
+
+func TestFlattenPartialSelectsDesign(t *testing.T) {
+	g := buildArchLike(t)
+	fg, err := g.FlattenPartial(Selection{"FPGA": "d2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.VertexByID("R2") == nil || fg.VertexByID("R1") != nil {
+		t.Error("selected design content wrong")
+	}
+	found := false
+	for _, e := range fg.Edges {
+		if e.From == "BUS" && e.To == "R2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("BUS-FPGA edge should reroute to R2")
+	}
+}
+
+func TestFlattenPartialUnknownCluster(t *testing.T) {
+	g := buildArchLike(t)
+	if _, err := g.FlattenPartial(Selection{"FPGA": "nope"}); err == nil {
+		t.Error("unknown cluster must fail")
+	}
+}
+
+func TestFlattenPartialMissingPortBinding(t *testing.T) {
+	// A cluster that does not bind the port reached by an edge: the
+	// edge is dropped rather than failing (the design simply has no
+	// such connector).
+	b := NewBuilder("g", "top")
+	r := b.Root()
+	r.Vertex("A")
+	i := r.Interface("I", Port{Name: "p"}, Port{Name: "q"})
+	// Binding for q only comes from manual construction: builder Bind
+	// sets both; construct manually instead.
+	c := i.Cluster("c")
+	c.Vertex("X")
+	c.Bind("p", "X")
+	c.Bind("q", "X")
+	r.PortEdge("A", "", "I", "p")
+	g := b.MustBuild()
+	// Remove the "p" binding post hoc to simulate a partial connector.
+	g.ClusterByID("c").PortBinding = map[string]ID{"q": "X"}
+	fg, err := g.FlattenPartial(Selection{"I": "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Edges) != 0 {
+		t.Errorf("edge through unbound port should be dropped, got %v", fg.Edges)
+	}
+	if fg.VertexByID("X") == nil {
+		t.Error("cluster content must still be present")
+	}
+}
+
+// Property: FlattenPartial with a complete selection equals Flatten.
+func TestPropPartialEqualsFullOnCompleteSelections(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(seed % 500)
+		ok := true
+		n := 0
+		g.EnumerateSelections(func(sel Selection) bool {
+			full, err1 := g.Flatten(sel)
+			part, err2 := g.FlattenPartial(sel)
+			if err1 != nil || err2 != nil {
+				ok = false
+				return false
+			}
+			if len(full.Vertices) != len(part.Vertices) || len(full.Edges) != len(part.Edges) {
+				ok = false
+				return false
+			}
+			for i := range full.Vertices {
+				if full.Vertices[i].ID != part.Vertices[i].ID {
+					ok = false
+					return false
+				}
+			}
+			for i := range full.Edges {
+				if full.Edges[i] != part.Edges[i] {
+					ok = false
+					return false
+				}
+			}
+			n++
+			return n < 200
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a partial selection yields a subgraph of any completion.
+func TestPropPartialIsSubgraphOfCompletion(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := randomGraph(seed % 500)
+		var complete Selection
+		g.EnumerateSelections(func(sel Selection) bool {
+			complete = sel.Clone()
+			return false
+		})
+		if complete == nil {
+			return true
+		}
+		// Drop half the entries.
+		partial := Selection{}
+		i := 0
+		for k, v := range complete {
+			if i%2 == 0 {
+				partial[k] = v
+			}
+			i++
+		}
+		// Keep only entries that remain reachable (active) under the
+		// partial selection; inactive entries are ignored by
+		// FlattenPartial anyway.
+		part, err := g.FlattenPartial(partial)
+		if err != nil {
+			return false
+		}
+		full, err := g.Flatten(complete)
+		if err != nil {
+			return false
+		}
+		fullSet := map[ID]bool{}
+		for _, v := range full.Vertices {
+			fullSet[v.ID] = true
+		}
+		for _, v := range part.Vertices {
+			if !fullSet[v.ID] {
+				return false
+			}
+		}
+		return len(part.Vertices) <= len(full.Vertices)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFlattenPartial(b *testing.B) {
+	g := buildArchLike(b)
+	sel := Selection{"FPGA": "d1"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.FlattenPartial(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package hgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks structural well-formedness of the hierarchical graph:
+//
+//   - IDs are globally unique across vertices, interfaces, clusters and
+//     edges at all levels;
+//   - every interface has at least one refining cluster;
+//   - edges reference nodes contained directly in the same cluster;
+//   - edges attaching to an interface name one of its declared ports
+//     (vertex endpoints must not name a port);
+//   - every cluster refining an interface binds each of the interface's
+//     ports to one of its internal nodes.
+//
+// It returns the first group of problems found as a single error.
+func (g *Graph) Validate() error {
+	var errs []string
+	seen := map[ID]string{}
+	claim := func(id ID, kind string) {
+		if id == "" {
+			errs = append(errs, fmt.Sprintf("%s with empty ID", kind))
+			return
+		}
+		if prev, dup := seen[id]; dup {
+			errs = append(errs, fmt.Sprintf("duplicate ID %q (%s and %s)", id, prev, kind))
+			return
+		}
+		seen[id] = kind
+	}
+
+	var walk func(c *Cluster, owner *Interface)
+	walk = func(c *Cluster, owner *Interface) {
+		claim(c.ID, "cluster")
+		local := map[ID]any{}
+		for _, v := range c.Vertices {
+			claim(v.ID, "vertex")
+			local[v.ID] = v
+		}
+		for _, i := range c.Interfaces {
+			claim(i.ID, "interface")
+			local[i.ID] = i
+			if len(i.Clusters) == 0 {
+				errs = append(errs, fmt.Sprintf("interface %q has no refining cluster", i.ID))
+			}
+			portNames := map[string]bool{}
+			for _, p := range i.Ports {
+				if portNames[p.Name] {
+					errs = append(errs, fmt.Sprintf("interface %q declares port %q twice", i.ID, p.Name))
+				}
+				portNames[p.Name] = true
+			}
+		}
+		for _, e := range c.Edges {
+			claim(e.ID, "edge")
+			g.validateEndpoint(c, local, e, e.From, e.FromPort, "source", &errs)
+			g.validateEndpoint(c, local, e, e.To, e.ToPort, "target", &errs)
+		}
+		for _, i := range c.Interfaces {
+			for _, sub := range i.Clusters {
+				g.validatePortBinding(i, sub, &errs)
+				walk(sub, i)
+			}
+		}
+		_ = owner
+	}
+	walk(g.Root, nil)
+
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return fmt.Errorf("hgraph %q: %d problem(s): %s", g.Name, len(errs), errs[0])
+	}
+	return nil
+}
+
+func (g *Graph) validateEndpoint(c *Cluster, local map[ID]any, e *Edge, id ID, port, role string, errs *[]string) {
+	node, ok := local[id]
+	if !ok {
+		*errs = append(*errs, fmt.Sprintf("edge %q: %s %q is not a node of cluster %q", e.ID, role, id, c.ID))
+		return
+	}
+	switch n := node.(type) {
+	case *Interface:
+		if port == "" {
+			*errs = append(*errs, fmt.Sprintf("edge %q: %s interface %q requires a port name", e.ID, role, id))
+		} else if n.Port(port) == nil {
+			*errs = append(*errs, fmt.Sprintf("edge %q: interface %q has no port %q", e.ID, id, port))
+		}
+	case *Vertex:
+		if port != "" {
+			*errs = append(*errs, fmt.Sprintf("edge %q: vertex %s endpoint %q must not name a port", e.ID, role, id))
+		}
+	}
+}
+
+func (g *Graph) validatePortBinding(i *Interface, c *Cluster, errs *[]string) {
+	for _, p := range i.Ports {
+		target, ok := c.PortBinding[p.Name]
+		if !ok {
+			*errs = append(*errs, fmt.Sprintf("cluster %q: missing binding for port %q of interface %q", c.ID, p.Name, i.ID))
+			continue
+		}
+		if c.Vertex(target) == nil && c.Interface(target) == nil {
+			*errs = append(*errs, fmt.Sprintf("cluster %q: port %q bound to %q which is not an internal node", c.ID, p.Name, target))
+		}
+	}
+	for name := range c.PortBinding {
+		if i.Port(name) == nil {
+			*errs = append(*errs, fmt.Sprintf("cluster %q: binding for undeclared port %q of interface %q", c.ID, name, i.ID))
+		}
+	}
+}

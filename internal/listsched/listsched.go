@@ -1,0 +1,288 @@
+// Package listsched implements static non-preemptive schedule
+// construction for one behaviour of an implementation — the paper's
+// declared future work ("In our future work, scheduling will be the
+// main issue of concern", pointing at Pop et al.'s static scheduling of
+// process graphs [10] and quasi-static scheduling [1]).
+//
+// Given a flattened problem graph, a binding and the mapping latencies,
+// the scheduler produces a start/finish time for every process such
+// that data dependences are respected and every resource executes at
+// most one process at a time. Priorities follow the classic
+// critical-path (bottom-level) heuristic. The resulting makespan
+// provides a schedule-based acceptance test that complements the
+// paper's 69 % utilization estimate.
+package listsched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bind"
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// Entry is one scheduled process execution.
+type Entry struct {
+	Process  hgraph.ID
+	Resource hgraph.ID
+	Start    float64
+	Finish   float64
+}
+
+// Schedule is a static non-preemptive schedule of one behaviour.
+type Schedule struct {
+	Entries  []Entry
+	Makespan float64
+}
+
+// Entry returns the entry for a process, or nil.
+func (s *Schedule) Entry(p hgraph.ID) *Entry {
+	for i := range s.Entries {
+		if s.Entries[i].Process == p {
+			return &s.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Build constructs a schedule for the flattened behaviour fp under
+// binding b. Latencies come from the mapping edges; processes bound to
+// the same resource are serialized. Communication is considered
+// instantaneous, matching the case study's assumption ("no latencies
+// for external communications").
+func Build(s *spec.Spec, fp *hgraph.FlatGraph, b bind.Binding) (*Schedule, error) {
+	order, err := fp.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("listsched: %w", err)
+	}
+	lat := map[hgraph.ID]float64{}
+	for _, v := range fp.Vertices {
+		r, ok := b[v.ID]
+		if !ok {
+			return nil, fmt.Errorf("listsched: process %q unbound", v.ID)
+		}
+		m := s.Mapping(v.ID, r)
+		if m == nil {
+			return nil, fmt.Errorf("listsched: no mapping edge %q=>%q", v.ID, r)
+		}
+		lat[v.ID] = m.Latency
+	}
+
+	// Bottom level (critical path to any sink), for priority.
+	bl := map[hgraph.ID]float64{}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		longest := 0.0
+		for _, succ := range fp.Successors(v.ID) {
+			if bl[succ] > longest {
+				longest = bl[succ]
+			}
+		}
+		bl[v.ID] = lat[v.ID] + longest
+	}
+
+	// Event-driven list scheduling.
+	readyAt := map[hgraph.ID]float64{}      // process -> max predecessor finish
+	remaining := map[hgraph.ID]int{}        // unfinished predecessor count
+	resourceFree := map[hgraph.ID]float64{} // resource -> next idle time
+	for _, v := range fp.Vertices {
+		remaining[v.ID] = len(fp.Predecessors(v.ID))
+	}
+	var ready []hgraph.ID
+	for _, v := range fp.Vertices {
+		if remaining[v.ID] == 0 {
+			ready = append(ready, v.ID)
+		}
+	}
+	sched := &Schedule{}
+	scheduled := map[hgraph.ID]bool{}
+	for len(sched.Entries) < len(fp.Vertices) {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("listsched: no ready process (cycle?)")
+		}
+		// Pick the ready process with the greatest bottom level,
+		// breaking ties by earliest possible start, then by ID.
+		sort.Slice(ready, func(i, j int) bool {
+			if bl[ready[i]] != bl[ready[j]] {
+				return bl[ready[i]] > bl[ready[j]]
+			}
+			si := startTime(ready[i], b, readyAt, resourceFree)
+			sj := startTime(ready[j], b, readyAt, resourceFree)
+			if si != sj {
+				return si < sj
+			}
+			return ready[i] < ready[j]
+		})
+		p := ready[0]
+		ready = ready[1:]
+		r := b[p]
+		start := startTime(p, b, readyAt, resourceFree)
+		finish := start + lat[p]
+		sched.Entries = append(sched.Entries, Entry{Process: p, Resource: r, Start: start, Finish: finish})
+		scheduled[p] = true
+		resourceFree[r] = finish
+		if finish > sched.Makespan {
+			sched.Makespan = finish
+		}
+		for _, succ := range fp.Successors(p) {
+			if finish > readyAt[succ] {
+				readyAt[succ] = finish
+			}
+			remaining[succ]--
+			if remaining[succ] == 0 {
+				ready = append(ready, succ)
+			}
+		}
+	}
+	sort.Slice(sched.Entries, func(i, j int) bool {
+		if sched.Entries[i].Start != sched.Entries[j].Start {
+			return sched.Entries[i].Start < sched.Entries[j].Start
+		}
+		return sched.Entries[i].Process < sched.Entries[j].Process
+	})
+	return sched, nil
+}
+
+// approxEqual compares durations with a relative tolerance, absorbing
+// the floating-point error of accumulating start times.
+func approxEqual(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := 1.0
+	if b > scale {
+		scale = b
+	}
+	return diff <= 1e-9*scale
+}
+
+func startTime(p hgraph.ID, b bind.Binding, readyAt, resourceFree map[hgraph.ID]float64) float64 {
+	t := readyAt[p]
+	if rf := resourceFree[b[p]]; rf > t {
+		t = rf
+	}
+	return t
+}
+
+// Validate checks schedule consistency independently of Build: every
+// process appears exactly once on its bound resource, dependences
+// precede their consumers, resource executions do not overlap, and
+// durations match the mapping latencies.
+func Validate(s *spec.Spec, fp *hgraph.FlatGraph, b bind.Binding, sch *Schedule) error {
+	seen := map[hgraph.ID]*Entry{}
+	for i := range sch.Entries {
+		e := &sch.Entries[i]
+		if seen[e.Process] != nil {
+			return fmt.Errorf("listsched: process %q scheduled twice", e.Process)
+		}
+		seen[e.Process] = e
+		if b[e.Process] != e.Resource {
+			return fmt.Errorf("listsched: process %q on %q, bound to %q", e.Process, e.Resource, b[e.Process])
+		}
+		m := s.Mapping(e.Process, e.Resource)
+		if m == nil || !approxEqual(e.Finish-e.Start, m.Latency) {
+			return fmt.Errorf("listsched: process %q duration %v does not match latency", e.Process, e.Finish-e.Start)
+		}
+		if e.Start < 0 {
+			return fmt.Errorf("listsched: process %q starts before 0", e.Process)
+		}
+	}
+	for _, v := range fp.Vertices {
+		if seen[v.ID] == nil {
+			return fmt.Errorf("listsched: process %q missing", v.ID)
+		}
+	}
+	for _, e := range fp.Edges {
+		if seen[e.From].Finish > seen[e.To].Start {
+			return fmt.Errorf("listsched: dependence %s->%s violated", e.From, e.To)
+		}
+	}
+	byRes := map[hgraph.ID][]*Entry{}
+	for i := range sch.Entries {
+		e := &sch.Entries[i]
+		byRes[e.Resource] = append(byRes[e.Resource], e)
+	}
+	for r, es := range byRes {
+		sort.Slice(es, func(i, j int) bool { return es[i].Start < es[j].Start })
+		for i := 1; i < len(es); i++ {
+			if es[i-1].Finish > es[i].Start {
+				return fmt.Errorf("listsched: overlap on %q between %q and %q", r, es[i-1].Process, es[i].Process)
+			}
+		}
+	}
+	return nil
+}
+
+// MeetsPeriods reports whether the behaviour's schedule fits within the
+// tightest period of its timed processes — the schedule-based
+// counterpart of the utilization estimate: a new iteration must be able
+// to start every period.
+func MeetsPeriods(s *spec.Spec, fp *hgraph.FlatGraph, sch *Schedule) bool {
+	tightest := 0.0
+	for _, v := range fp.Vertices {
+		if p := s.Period(v.ID); p > 0 && (tightest == 0 || p < tightest) {
+			tightest = p
+		}
+	}
+	if tightest == 0 {
+		return true
+	}
+	// Only timed processes bound the iteration; controllers that run
+	// once at start-up (untimed) are excluded, as in the paper's
+	// estimation.
+	span := 0.0
+	for _, e := range sch.Entries {
+		if s.Period(e.Process) > 0 && e.Finish > span {
+			span = e.Finish
+		}
+	}
+	return span <= tightest
+}
+
+// Gantt renders the schedule as a fixed-width text chart, one row per
+// resource.
+func Gantt(sch *Schedule, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if len(sch.Entries) == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / sch.Makespan
+	byRes := map[hgraph.ID][]Entry{}
+	var resources []hgraph.ID
+	for _, e := range sch.Entries {
+		if _, ok := byRes[e.Resource]; !ok {
+			resources = append(resources, e.Resource)
+		}
+		byRes[e.Resource] = append(byRes[e.Resource], e)
+	}
+	sort.Slice(resources, func(i, j int) bool { return resources[i] < resources[j] })
+	var b strings.Builder
+	for _, r := range resources {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range byRes[r] {
+			from := int(e.Start * scale)
+			to := int(e.Finish * scale)
+			if to > width {
+				to = width
+			}
+			mark := byte('#')
+			if len(e.Process) > 0 {
+				mark = e.Process[len(e.Process)-1]
+			}
+			for i := from; i < to && i < width; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-6s |%s|\n", r, row)
+	}
+	fmt.Fprintf(&b, "%-6s  makespan=%g\n", "", sch.Makespan)
+	return b.String()
+}

@@ -1,0 +1,298 @@
+package listsched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+// flatTV flattens the Set-Top TV behaviour (d, u) and finds a binding
+// on the given allocation.
+func flatTV(t testing.TB, s *spec.Spec, alloc spec.Allocation, archSel hgraph.Selection, d, u string) (*hgraph.FlatGraph, bind.Binding) {
+	t.Helper()
+	fp, err := s.Problem.Flatten(hgraph.Selection{"IApp": "gD", "ID": hgraph.ID(d), "IU": hgraph.ID(u)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := s.ArchViewFor(alloc, archSel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := bind.Find(s, fp, av, bind.Options{})
+	if !ok {
+		t.Fatal("no binding")
+	}
+	return fp, res.Binding
+}
+
+func TestBuildTVOnSingleProcessor(t *testing.T) {
+	s := models.SetTopBox()
+	fp, b := flatTV(t, s, spec.NewAllocation("uP2"), nil, "gD1", "gU1")
+	sch, err := Build(s, fp, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(s, fp, b, sch); err != nil {
+		t.Fatal(err)
+	}
+	// Everything serialized on uP2: makespan = sum of latencies
+	// (PA 60 + PCD 10 + PD1 95 + PU1 45 = 210).
+	if sch.Makespan != 210 {
+		t.Errorf("makespan = %v, want 210", sch.Makespan)
+	}
+	// Dependences: PCD before PD1 before PU1.
+	if sch.Entry("PCD").Finish > sch.Entry("PD1").Start {
+		t.Error("PCD must precede PD1")
+	}
+	if sch.Entry("PD1").Finish > sch.Entry("PU1").Start {
+		t.Error("PD1 must precede PU1")
+	}
+}
+
+func TestBuildParallelResources(t *testing.T) {
+	s := models.SetTopBox()
+	alloc := spec.NewAllocation("uP2", "A1", "C2")
+	fp, b := flatTV(t, s, alloc, nil, "gD2", "gU2")
+	// PD2 and PU2 only map to the ASIC; PA/PCD stay on uP2 and overlap
+	// with nothing upstream of them.
+	sch, err := Build(s, fp, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(s, fp, b, sch); err != nil {
+		t.Fatal(err)
+	}
+	// Chain PCD(10) -> PD2(35) -> PU2(29) = 74; PA(60) runs in parallel
+	// on uP2 after PCD? PA has no dependence: it can start at 0 but
+	// shares uP2 with PCD. Critical path bound:
+	if sch.Makespan < 74 {
+		t.Errorf("makespan %v below critical path 74", sch.Makespan)
+	}
+	if sch.Makespan > 74+70 {
+		t.Errorf("makespan %v exceeds serialization bound", sch.Makespan)
+	}
+	// ASIC work strictly ordered.
+	if sch.Entry("PD2").Finish > sch.Entry("PU2").Start {
+		t.Error("ASIC serialization violated")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	s := models.SetTopBox()
+	fp, b := flatTV(t, s, spec.NewAllocation("uP2"), nil, "gD1", "gU1")
+	// Unbound process.
+	b2 := b.Clone()
+	delete(b2, "PA")
+	if _, err := Build(s, fp, b2); err == nil {
+		t.Error("unbound process must fail")
+	}
+	// Binding without a mapping edge.
+	b3 := b.Clone()
+	b3["PA"] = "A1"
+	if _, err := Build(s, fp, b3); err == nil {
+		t.Error("no mapping edge must fail")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	s := models.SetTopBox()
+	fp, b := flatTV(t, s, spec.NewAllocation("uP2"), nil, "gD1", "gU1")
+	sch, err := Build(s, fp, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift one entry to violate a dependence.
+	bad := *sch
+	bad.Entries = append([]Entry(nil), sch.Entries...)
+	for i := range bad.Entries {
+		if bad.Entries[i].Process == "PU1" {
+			bad.Entries[i].Start = 0
+			bad.Entries[i].Finish = 45
+		}
+	}
+	if err := Validate(s, fp, b, &bad); err == nil {
+		t.Error("dependence violation must be caught")
+	}
+	// Remove an entry.
+	missing := *sch
+	missing.Entries = sch.Entries[1:]
+	if err := Validate(s, fp, b, &missing); err == nil {
+		t.Error("missing process must be caught")
+	}
+}
+
+func TestMeetsPeriods(t *testing.T) {
+	s := models.SetTopBox()
+	// TV on uP2: timed span = finish of PU1. The full makespan includes
+	// the untimed start-up processes; only the timed span must fit the
+	// 300ns period.
+	fp, b := flatTV(t, s, spec.NewAllocation("uP2"), nil, "gD1", "gU1")
+	sch, err := Build(s, fp, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MeetsPeriods(s, fp, sch) {
+		t.Errorf("TV schedule (timed span within 300) should pass, makespan %v", sch.Makespan)
+	}
+	// Game on uP2: PG1(95) + PD(90) span 185 + PCG scheduling effects;
+	// period 240. The schedule-based test evaluates the actual span.
+	fpG, err := s.Problem.Flatten(hgraph.Selection{"IApp": "gG", "IG": "gG1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := s.ArchViewFor(spec.NewAllocation("uP2"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := bind.Find(s, fpG, av, bind.Options{Timing: bind.TimingNone})
+	if !ok {
+		t.Fatal("binding exists without timing test")
+	}
+	schG, err := Build(s, fpG, res.Binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(s, fpG, res.Binding, schG); err != nil {
+		t.Fatal(err)
+	}
+	// Timed span: PCG(untimed, 27) precedes PG1(95) precedes PD(90):
+	// finish 27+95+90 = 212 <= 240 — the schedule-based test accepts
+	// what the 69% estimate rejects, mirroring the RTA ablation.
+	if !MeetsPeriods(s, fpG, schG) {
+		t.Error("game schedule fits its period even though utilization exceeds 69%")
+	}
+}
+
+func TestMeetsPeriodsUntimed(t *testing.T) {
+	s := models.SetTopBox()
+	fp, err := s.Problem.Flatten(hgraph.Selection{"IApp": "gI"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := s.ArchViewFor(spec.NewAllocation("uP2"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := bind.Find(s, fp, av, bind.Options{})
+	if !ok {
+		t.Fatal("browser binds")
+	}
+	sch, err := Build(s, fp, res.Binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MeetsPeriods(s, fp, sch) {
+		t.Error("untimed behaviour always meets periods")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	s := models.SetTopBox()
+	fp, b := flatTV(t, s, spec.NewAllocation("uP2"), nil, "gD1", "gU1")
+	sch, err := Build(s, fp, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Gantt(sch, 40)
+	if !strings.Contains(g, "uP2") || !strings.Contains(g, "makespan=210") {
+		t.Errorf("Gantt output unexpected:\n%s", g)
+	}
+	if Gantt(&Schedule{}, 10) != "(empty schedule)\n" {
+		t.Error("empty schedule rendering")
+	}
+}
+
+// Property: every behaviour of every case-study front implementation
+// admits a valid schedule, and the makespan is bounded below by the
+// critical path and above by the latency sum.
+func TestPropSchedulesValid(t *testing.T) {
+	s := models.SetTopBox()
+	r := core.Explore(s, core.Options{AllBehaviours: true})
+	for _, im := range r.Front {
+		for _, beh := range im.Behaviours {
+			fp, err := s.Problem.Flatten(beh.ECS.Selection)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sch, err := Build(s, fp, beh.Binding)
+			if err != nil {
+				t.Fatalf("%v / %v: %v", im, beh.ECS, err)
+			}
+			if err := Validate(s, fp, beh.Binding, sch); err != nil {
+				t.Errorf("%v / %v: %v", im, beh.ECS, err)
+			}
+			sum := 0.0
+			for _, v := range fp.Vertices {
+				sum += s.Mapping(v.ID, beh.Binding[v.ID]).Latency
+			}
+			if sch.Makespan > sum {
+				t.Errorf("makespan %v exceeds serialization bound %v", sch.Makespan, sum)
+			}
+		}
+	}
+}
+
+// Property: schedules on synthetic models validate whenever binding
+// succeeds.
+func TestPropSyntheticSchedules(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := models.SyntheticParams{
+			Seed: seed % 40, Apps: 2, Depth: 1, Branch: 2, Vertices: 2,
+			Processors: 2, ASICs: 1, Designs: 1, Buses: 3,
+			TimedFraction: 0.3, AccelOnlyFraction: 0.2,
+		}
+		s := models.Synthetic(p)
+		im := core.Implement(s, fullAllocation(s), core.Options{AllBehaviours: true}, nil)
+		if im == nil {
+			return true
+		}
+		for _, beh := range im.Behaviours {
+			fp, err := s.Problem.Flatten(beh.ECS.Selection)
+			if err != nil {
+				return false
+			}
+			sch, err := Build(s, fp, beh.Binding)
+			if err != nil {
+				return false
+			}
+			if err := Validate(s, fp, beh.Binding, sch); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fullAllocation(s *spec.Spec) spec.Allocation {
+	a := spec.Allocation{}
+	for _, v := range s.Arch.Root.Vertices {
+		a[v.ID] = true
+	}
+	for _, i := range s.Arch.Root.Interfaces {
+		for _, c := range i.Clusters {
+			a[c.ID] = true
+		}
+	}
+	return a
+}
+
+func BenchmarkBuild(b *testing.B) {
+	s := models.SetTopBox()
+	fp, bd := flatTV(b, s, spec.NewAllocation("uP2", "A1", "C2"), nil, "gD2", "gU2")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(s, fp, bd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

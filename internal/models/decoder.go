@@ -1,0 +1,72 @@
+package models
+
+import (
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// DecoderProblem builds the digital TV decoder problem graph of Fig. 1:
+// top-level authentification P_A and controller P_C, a decryption
+// interface I_D with three alternative algorithms and an uncompression
+// interface I_U with two, where uncompression requires input data from
+// decryption. The leaves are therefore
+// {P_A, P_C, P_D¹, P_D², P_D³, P_U¹, P_U²} (Eq. 1).
+func DecoderProblem() *hgraph.Graph {
+	b := hgraph.NewBuilder("decoder-problem", "top")
+	r := b.Root()
+	r.Vertex("PA").Vertex("PC")
+	id := r.Interface("ID", hgraph.Port{Name: "in"}, hgraph.Port{Name: "out", Dir: hgraph.Out})
+	id.Cluster("gD1").Vertex("PD1", spec.AttrPeriod, TVPeriod).Bind("in", "PD1").Bind("out", "PD1")
+	id.Cluster("gD2").Vertex("PD2", spec.AttrPeriod, TVPeriod).Bind("in", "PD2").Bind("out", "PD2")
+	id.Cluster("gD3").Vertex("PD3", spec.AttrPeriod, TVPeriod).Bind("in", "PD3").Bind("out", "PD3")
+	iu := r.Interface("IU", hgraph.Port{Name: "in"}, hgraph.Port{Name: "out", Dir: hgraph.Out})
+	iu.Cluster("gU1").Vertex("PU1", spec.AttrPeriod, TVPeriod).Bind("in", "PU1").Bind("out", "PU1")
+	iu.Cluster("gU2").Vertex("PU2", spec.AttrPeriod, TVPeriod).Bind("in", "PU2").Bind("out", "PU2")
+	r.PortEdge("PC", "", "ID", "in")
+	r.PortEdge("ID", "out", "IU", "in")
+	return b.MustBuild()
+}
+
+// DecoderArch builds the Fig. 2 architecture: a μ-controller μP, an
+// ASIC A and an FPGA with alternative designs, connected by bus C1
+// (μP ↔ FPGA) and bus C2 (μP ↔ A). No bus connects the ASIC and the
+// FPGA — the paper's infeasible-binding example depends on that. The
+// FPGA designs are D3 (third decryption) and U2 (second uncompression);
+// costs are reconstructed (the figure's annotations are not in the
+// text).
+func DecoderArch() *hgraph.Graph {
+	b := hgraph.NewBuilder("decoder-arch", "atop")
+	r := b.Root()
+	r.Vertex("uP", spec.AttrCost, 50)
+	r.Vertex("A", spec.AttrCost, 100)
+	r.Vertex("C1", spec.AttrCost, 5, spec.AttrComm, 1)
+	r.Vertex("C2", spec.AttrCost, 5, spec.AttrComm, 1)
+	fpga := r.Interface("FPGA", hgraph.Port{Name: "bus"})
+	fpga.Cluster("dD3").Vertex("D3", spec.AttrCost, 20).Bind("bus", "D3")
+	fpga.Cluster("dU2").Vertex("U2", spec.AttrCost, 20).Bind("bus", "U2")
+	r.Edge("uP", "C1")
+	r.PortEdge("C1", "", "FPGA", "bus")
+	r.Edge("uP", "C2")
+	r.Edge("C2", "A")
+	return b.MustBuild()
+}
+
+// Decoder assembles the Fig. 2 hierarchical specification graph. The
+// only latency published in the text is P_U¹ → μP (40 ns) / A (15 ns);
+// the remaining mapping edges are reconstructed consistently with the
+// narrative (P_D² implementable only on the ASIC, P_D³ only on the
+// FPGA design D3, P_U² on the ASIC or the FPGA design U2).
+func Decoder() *spec.Spec {
+	return spec.MustNew("decoder", DecoderProblem(), DecoderArch(), []*spec.Mapping{
+		{Process: "PA", Resource: "uP", Latency: 55},
+		{Process: "PC", Resource: "uP", Latency: 10},
+		{Process: "PD1", Resource: "uP", Latency: 85},
+		{Process: "PD1", Resource: "A", Latency: 25},
+		{Process: "PD2", Resource: "A", Latency: 35},
+		{Process: "PD3", Resource: "D3", Latency: 63},
+		{Process: "PU1", Resource: "uP", Latency: 40},
+		{Process: "PU1", Resource: "A", Latency: 15},
+		{Process: "PU2", Resource: "A", Latency: 29},
+		{Process: "PU2", Resource: "U2", Latency: 59},
+	})
+}

@@ -1,0 +1,102 @@
+package models
+
+import (
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// SDR builds a second, independent case study: a software-defined
+// radio that must support several air interfaces — a GSM-style
+// narrowband standard (with alternative demodulators and speech
+// codecs), a WiFi-style OFDM standard (with alternative FEC decoders),
+// and a Bluetooth-style hopping standard. The platform offers two DSPs,
+// a hardware accelerator and an FPGA whose designs implement a Viterbi
+// decoder or an OFDM pipeline.
+//
+// The model exercises the same mechanics as the paper's Set-Top box —
+// nested alternatives, accelerator-only processes, a reconfigurable
+// FPGA, bus-limited communication, per-standard timing constraints —
+// on a different domain, and is pinned by tests against the exhaustive
+// explorer. Maximum flexibility: gsm (2+2−1) + wifi 2 + bt 1 = 6.
+func SDR() *spec.Spec {
+	pb := hgraph.NewBuilder("sdr-problem", "RP")
+	std := pb.Root().Interface("IStd")
+
+	gsm := std.Cluster("gsm")
+	gsm.Vertex("Psync")
+	dem := gsm.Interface("IDemod", hgraph.Port{Name: "in"}, hgraph.Port{Name: "out", Dir: hgraph.Out})
+	dem.Cluster("demCoh").Vertex("PdemC", spec.AttrPeriod, 1000).Bind("in", "PdemC").Bind("out", "PdemC")
+	dem.Cluster("demNon").Vertex("PdemN", spec.AttrPeriod, 1000).Bind("in", "PdemN").Bind("out", "PdemN")
+	cod := gsm.Interface("ICodec", hgraph.Port{Name: "in"}, hgraph.Port{Name: "out", Dir: hgraph.Out})
+	cod.Cluster("codFR").Vertex("PcodF", spec.AttrPeriod, 1000).Bind("in", "PcodF").Bind("out", "PcodF")
+	cod.Cluster("codEFR").Vertex("PcodE", spec.AttrPeriod, 1000).Bind("in", "PcodE").Bind("out", "PcodE")
+	gsm.PortEdge("Psync", "", "IDemod", "in")
+	gsm.PortEdge("IDemod", "out", "ICodec", "in")
+
+	wifi := std.Cluster("wifi")
+	wifi.Vertex("Pofdm", spec.AttrPeriod, 500)
+	fec := wifi.Interface("IFec", hgraph.Port{Name: "in"}, hgraph.Port{Name: "out", Dir: hgraph.Out})
+	fec.Cluster("fecVit").Vertex("Pvit", spec.AttrPeriod, 500).Bind("in", "Pvit").Bind("out", "Pvit")
+	fec.Cluster("fecTur").Vertex("Ptur", spec.AttrPeriod, 500).Bind("in", "Ptur").Bind("out", "Ptur")
+	wifi.PortEdge("Pofdm", "", "IFec", "in")
+
+	bt := std.Cluster("bt")
+	bt.Vertex("Phop").Vertex("Pgfsk", spec.AttrPeriod, 625)
+	bt.Edge("Phop", "Pgfsk")
+
+	problem := pb.MustBuild()
+
+	ab := hgraph.NewBuilder("sdr-arch", "RA")
+	r := ab.Root()
+	r.Vertex("DSP1", spec.AttrCost, 150)
+	r.Vertex("DSP2", spec.AttrCost, 180)
+	r.Vertex("ACC", spec.AttrCost, 220)
+	r.Vertex("B1", spec.AttrCost, 10, spec.AttrComm, 1) // DSP1 - FPGA
+	r.Vertex("B2", spec.AttrCost, 10, spec.AttrComm, 1) // DSP1 - ACC
+	r.Vertex("B3", spec.AttrCost, 15, spec.AttrComm, 1) // DSP1 - DSP2
+	r.Vertex("B4", spec.AttrCost, 12, spec.AttrComm, 1) // DSP2 - ACC
+	r.Vertex("B5", spec.AttrCost, 14, spec.AttrComm, 1) // DSP2 - FPGA
+	fpga := r.Interface("FPGA", hgraph.Port{Name: "bus"})
+	fpga.Cluster("dVit").Vertex("VIT", spec.AttrCost, 45).Bind("bus", "VIT")
+	fpga.Cluster("dOFDM").Vertex("OFD", spec.AttrCost, 55).Bind("bus", "OFD")
+	r.Edge("DSP1", "B1")
+	r.PortEdge("B1", "", "FPGA", "bus")
+	r.Edge("DSP1", "B2")
+	r.Edge("B2", "ACC")
+	r.Edge("DSP1", "B3")
+	r.Edge("B3", "DSP2")
+	r.Edge("DSP2", "B4")
+	r.Edge("B4", "ACC")
+	r.Edge("DSP2", "B5")
+	r.PortEdge("B5", "", "FPGA", "bus")
+	arch := ab.MustBuild()
+
+	return spec.MustNew("sdr", problem, arch, []*spec.Mapping{
+		// GSM: sync and the coherent demodulator run on DSPs; the
+		// non-coherent demodulator and the EFR codec are heavy and need
+		// the accelerator; the FR codec runs anywhere.
+		{Process: "Psync", Resource: "DSP1", Latency: 80},
+		{Process: "Psync", Resource: "DSP2", Latency: 90},
+		{Process: "PdemC", Resource: "DSP1", Latency: 320},
+		{Process: "PdemC", Resource: "DSP2", Latency: 350},
+		{Process: "PdemN", Resource: "ACC", Latency: 120},
+		{Process: "PcodF", Resource: "DSP1", Latency: 260},
+		{Process: "PcodF", Resource: "DSP2", Latency: 280},
+		{Process: "PcodE", Resource: "ACC", Latency: 150},
+		{Process: "PcodE", Resource: "DSP2", Latency: 640},
+		// WiFi: the OFDM pipeline runs on the FPGA design or DSP2; FEC
+		// on the FPGA Viterbi design, the accelerator, or (turbo only)
+		// DSP2.
+		{Process: "Pofdm", Resource: "OFD", Latency: 110},
+		{Process: "Pofdm", Resource: "DSP2", Latency: 300},
+		{Process: "Pvit", Resource: "VIT", Latency: 90},
+		{Process: "Pvit", Resource: "ACC", Latency: 130},
+		{Process: "Ptur", Resource: "ACC", Latency: 160},
+		{Process: "Ptur", Resource: "DSP2", Latency: 330},
+		// Bluetooth: light, processor-only.
+		{Process: "Phop", Resource: "DSP1", Latency: 40},
+		{Process: "Phop", Resource: "DSP2", Latency: 45},
+		{Process: "Pgfsk", Resource: "DSP1", Latency: 210},
+		{Process: "Pgfsk", Resource: "DSP2", Latency: 230},
+	})
+}

@@ -1,0 +1,162 @@
+// Package models provides the paper's example systems — the digital TV
+// decoder of Figs. 1 and 2, the Set-Top box family of Figs. 3 and 5
+// with the mapping latencies of Table 1 — plus a parameterized
+// synthetic-specification generator for scalability experiments.
+//
+// Where the paper's figures carry annotations that did not survive into
+// the text (Fig. 5 allocation costs and bus topology, most Fig. 2
+// latencies), the values here are reconstructed so that every published
+// number remains true; see DESIGN.md ("Substitutions") for the
+// derivation. Notably, the reconstructed architecture has 14
+// allocatable units which, together with the 11 problem-graph clusters,
+// span exactly the paper's 2^25 design space.
+package models
+
+import (
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// Timing constraints of the Set-Top box case study (Section 5): the
+// game console's output process P_D must execute every 240 ns, the
+// digital TV's uncompression every 300 ns.
+const (
+	GamePeriod = 240
+	TVPeriod   = 300
+)
+
+// SetTopProblem builds the problem graph of Fig. 3: the application
+// interface IApp refined by an Internet browser (γI), a game console
+// (γG, whose core interface IG has three game classes) and a digital TV
+// decoder (γD, with three decryptions and two uncompressions). Timed
+// processes carry their minimal periods; controller, authentification,
+// parser and formatter processes are untimed, matching the paper's
+// estimation (they are neglected: start-up only or ~0.01% of calls).
+func SetTopProblem() *hgraph.Graph {
+	b := hgraph.NewBuilder("settop-problem", "GP")
+	app := b.Root().Interface("IApp")
+
+	gI := app.Cluster("gI")
+	gI.Vertex("PCI").Vertex("PP").Vertex("PF")
+	gI.Edge("PCI", "PP").Edge("PP", "PF")
+
+	gG := app.Cluster("gG")
+	gG.Vertex("PCG").Vertex("PD", spec.AttrPeriod, GamePeriod)
+	ig := gG.Interface("IG", hgraph.Port{Name: "in"}, hgraph.Port{Name: "out", Dir: hgraph.Out})
+	ig.Cluster("gG1").Vertex("PG1", spec.AttrPeriod, GamePeriod).Bind("in", "PG1").Bind("out", "PG1")
+	ig.Cluster("gG2").Vertex("PG2", spec.AttrPeriod, GamePeriod).Bind("in", "PG2").Bind("out", "PG2")
+	ig.Cluster("gG3").Vertex("PG3", spec.AttrPeriod, GamePeriod).Bind("in", "PG3").Bind("out", "PG3")
+	gG.PortEdge("PCG", "", "IG", "in")
+	gG.PortEdge("IG", "out", "PD", "")
+
+	gD := app.Cluster("gD")
+	gD.Vertex("PA").Vertex("PCD")
+	id := gD.Interface("ID", hgraph.Port{Name: "in"}, hgraph.Port{Name: "out", Dir: hgraph.Out})
+	id.Cluster("gD1").Vertex("PD1", spec.AttrPeriod, TVPeriod).Bind("in", "PD1").Bind("out", "PD1")
+	id.Cluster("gD2").Vertex("PD2", spec.AttrPeriod, TVPeriod).Bind("in", "PD2").Bind("out", "PD2")
+	id.Cluster("gD3").Vertex("PD3", spec.AttrPeriod, TVPeriod).Bind("in", "PD3").Bind("out", "PD3")
+	iu := gD.Interface("IU", hgraph.Port{Name: "in"}, hgraph.Port{Name: "out", Dir: hgraph.Out})
+	iu.Cluster("gU1").Vertex("PU1", spec.AttrPeriod, TVPeriod).Bind("in", "PU1").Bind("out", "PU1")
+	iu.Cluster("gU2").Vertex("PU2", spec.AttrPeriod, TVPeriod).Bind("in", "PU2").Bind("out", "PU2")
+	gD.PortEdge("PCD", "", "ID", "in")
+	gD.PortEdge("ID", "out", "IU", "in")
+
+	return b.MustBuild()
+}
+
+// SetTopArch builds the architecture graph of Fig. 5: two processors
+// μP1 and μP2, three ASICs A1–A3, and an FPGA that can be configured as
+// a D3 decryption coprocessor, a U2 uncompression coprocessor or a G1
+// game-core coprocessor. Six buses interconnect the components: C1–C4
+// attach μP2 to the FPGA and the three ASICs, C5 attaches μP1 to the
+// FPGA, and C6 couples the two processors. There is deliberately no bus
+// between any ASIC and the FPGA. Allocation costs are the
+// reconstruction derived in DESIGN.md:
+//
+//	μP2 $100, μP1 $120, A1 $250, A2 $280, A3 $300,
+//	FPGA designs D3/U2/G1 $60 each, C1–C4/C6 cheap ($10/$20), C5 $60.
+func SetTopArch() *hgraph.Graph {
+	b := hgraph.NewBuilder("settop-arch", "GA")
+	r := b.Root()
+	r.Vertex("uP1", spec.AttrCost, 120)
+	r.Vertex("uP2", spec.AttrCost, 100)
+	r.Vertex("A1", spec.AttrCost, 250)
+	r.Vertex("A2", spec.AttrCost, 280)
+	r.Vertex("A3", spec.AttrCost, 300)
+	r.Vertex("C1", spec.AttrCost, 10, spec.AttrComm, 1)
+	r.Vertex("C2", spec.AttrCost, 10, spec.AttrComm, 1)
+	r.Vertex("C3", spec.AttrCost, 10, spec.AttrComm, 1)
+	r.Vertex("C4", spec.AttrCost, 10, spec.AttrComm, 1)
+	r.Vertex("C5", spec.AttrCost, 60, spec.AttrComm, 1)
+	r.Vertex("C6", spec.AttrCost, 20, spec.AttrComm, 1)
+	fpga := r.Interface("FPGA", hgraph.Port{Name: "bus"})
+	fpga.Cluster("dD3").Vertex("D3", spec.AttrCost, 60).Bind("bus", "D3")
+	fpga.Cluster("dU2").Vertex("U2", spec.AttrCost, 60).Bind("bus", "U2")
+	fpga.Cluster("dG1").Vertex("G1", spec.AttrCost, 60).Bind("bus", "G1")
+	r.Edge("uP2", "C1")
+	r.PortEdge("C1", "", "FPGA", "bus")
+	r.Edge("uP2", "C2")
+	r.Edge("C2", "A1")
+	r.Edge("uP2", "C3")
+	r.Edge("C3", "A2")
+	r.Edge("uP2", "C4")
+	r.Edge("C4", "A3")
+	r.Edge("uP1", "C5")
+	r.PortEdge("C5", "", "FPGA", "bus")
+	r.Edge("uP1", "C6")
+	r.Edge("C6", "uP2")
+	return b.MustBuild()
+}
+
+// Table1Row is one row of Table 1: a process and its core execution
+// times on each resource (absent entries mean "not mappable").
+type Table1Row struct {
+	Process   hgraph.ID
+	Latencies map[hgraph.ID]float64
+}
+
+// Table1 returns the possible mappings of Fig. 5 with their core
+// execution times in ns, exactly as published.
+func Table1() []Table1Row {
+	l := func(pairs ...any) map[hgraph.ID]float64 {
+		m := map[hgraph.ID]float64{}
+		for i := 0; i < len(pairs); i += 2 {
+			m[hgraph.ID(pairs[i].(string))] = float64(pairs[i+1].(int))
+		}
+		return m
+	}
+	return []Table1Row{
+		{"PCI", l("uP1", 10, "uP2", 12)},
+		{"PP", l("uP1", 15, "uP2", 19)},
+		{"PF", l("uP1", 50, "uP2", 75)},
+		{"PCG", l("uP1", 25, "uP2", 27)},
+		{"PG1", l("uP1", 75, "uP2", 95, "A1", 15, "A2", 15, "A3", 15, "G1", 20)},
+		{"PG2", l("A1", 25, "A2", 22, "A3", 22)},
+		{"PG3", l("A1", 50, "A2", 45, "A3", 35)},
+		{"PD", l("uP1", 70, "uP2", 90, "A1", 30, "A2", 30, "A3", 25)},
+		{"PCD", l("uP1", 10, "uP2", 10)},
+		{"PA", l("uP1", 55, "uP2", 60)},
+		{"PD1", l("uP1", 85, "uP2", 95, "A1", 25, "A2", 22, "A3", 22)},
+		{"PD2", l("A1", 35, "A2", 33, "A3", 32)},
+		{"PD3", l("D3", 63)},
+		{"PU1", l("uP1", 40, "uP2", 45, "A1", 15, "A2", 12, "A3", 10)},
+		{"PU2", l("A1", 29, "A2", 27, "A3", 22, "U2", 59)},
+	}
+}
+
+// SetTopBox assembles the complete case-study specification of
+// Section 5: the Fig. 3/5 problem and architecture graphs joined by the
+// Table 1 mapping edges.
+func SetTopBox() *spec.Spec {
+	var mappings []*spec.Mapping
+	for _, row := range Table1() {
+		for _, res := range []hgraph.ID{"uP1", "uP2", "A1", "A2", "A3", "D3", "U2", "G1"} {
+			if lat, ok := row.Latencies[res]; ok {
+				mappings = append(mappings, &spec.Mapping{
+					Process: row.Process, Resource: res, Latency: lat,
+				})
+			}
+		}
+	}
+	return spec.MustNew("settop", SetTopProblem(), SetTopArch(), mappings)
+}

@@ -1,0 +1,215 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// SyntheticParams parameterizes the synthetic specification generator
+// used for the paper's scalability claims ("a typical search space with
+// 10^5–10^12 design points can be reduced ... to a few 10^3–10^4
+// possible resource allocations"). The generated platform follows the
+// Set-Top box pattern: an application interface with alternative
+// behaviours over processors, accelerators, a reconfigurable component
+// and buses.
+type SyntheticParams struct {
+	Seed int64
+	// Apps is the number of alternative top-level behaviours.
+	Apps int
+	// Depth is the nesting depth below each behaviour (0 = flat apps).
+	Depth int
+	// Branch is the number of alternative clusters per nested interface.
+	Branch int
+	// Vertices is the number of processes per cluster.
+	Vertices int
+	// Processors, ASICs, Designs and Buses size the architecture.
+	Processors, ASICs, Designs, Buses int
+	// TimedFraction is the probability that a process carries a period.
+	TimedFraction float64
+	// AccelOnlyFraction is the probability that a non-controller
+	// process is implementable only on accelerators or reconfigurable
+	// designs (like P_G2/P_G3/P_D2/P_D3/P_U2 in Table 1), which is what
+	// makes fronts non-trivial.
+	AccelOnlyFraction float64
+}
+
+// DefaultSynthetic returns parameters producing a platform of roughly
+// the case study's size.
+func DefaultSynthetic(seed int64) SyntheticParams {
+	return SyntheticParams{
+		Seed: seed, Apps: 3, Depth: 1, Branch: 3, Vertices: 2,
+		Processors: 2, ASICs: 3, Designs: 3, Buses: 6,
+		TimedFraction: 0.5, AccelOnlyFraction: 0.25,
+	}
+}
+
+func (p SyntheticParams) withDefaults() SyntheticParams {
+	if p.Apps <= 0 {
+		p.Apps = 3
+	}
+	if p.Branch <= 0 {
+		p.Branch = 2
+	}
+	if p.Vertices <= 0 {
+		p.Vertices = 2
+	}
+	if p.Processors <= 0 {
+		p.Processors = 1
+	}
+	return p
+}
+
+// Synthetic generates a deterministic random specification from the
+// parameters. Every process is mappable to at least one processor, so
+// possible resource allocations always exist; accelerator and
+// reconfigurable-design mappings are sprinkled with faster latencies,
+// mirroring Table 1's structure.
+func Synthetic(p SyntheticParams) *spec.Spec {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// --- problem graph ---
+	pb := hgraph.NewBuilder(fmt.Sprintf("syn%d-problem", p.Seed), "GP")
+	pb.Root().Vertex("Ctl") // always-active controller
+	app := pb.Root().Interface("IApp")
+	var processes []hgraph.ID
+	processes = append(processes, "Ctl")
+	vertexCount := 0
+	var fill func(cb *hgraph.ClusterBuilder, depth int)
+	fill = func(cb *hgraph.ClusterBuilder, depth int) {
+		var prev hgraph.ID
+		for k := 0; k < p.Vertices; k++ {
+			vertexCount++
+			id := hgraph.ID(fmt.Sprintf("P%d", vertexCount))
+			if rng.Float64() < p.TimedFraction {
+				period := float64(200 + 50*rng.Intn(5))
+				cb.Vertex(id, spec.AttrPeriod, period)
+			} else {
+				cb.Vertex(id)
+			}
+			processes = append(processes, id)
+			if k > 0 {
+				cb.Edge(prev, id)
+			}
+			prev = id
+		}
+		if depth > 0 {
+			iid := hgraph.ID(fmt.Sprintf("I%d", vertexCount))
+			ib := cb.Interface(iid, hgraph.Port{Name: "p"})
+			for j := 0; j < p.Branch; j++ {
+				sub := ib.Cluster(hgraph.ID(fmt.Sprintf("g%d_%d", vertexCount, j)))
+				before := vertexCount
+				fill(sub, depth-1)
+				sub.Bind("p", hgraph.ID(fmt.Sprintf("P%d", before+1)))
+			}
+		}
+	}
+	for a := 0; a < p.Apps; a++ {
+		cl := app.Cluster(hgraph.ID(fmt.Sprintf("app%d", a)))
+		fill(cl, p.Depth)
+	}
+	problem := pb.MustBuild()
+
+	// --- architecture graph ---
+	ab := hgraph.NewBuilder(fmt.Sprintf("syn%d-arch", p.Seed), "GA")
+	ar := ab.Root()
+	var procs, accels []hgraph.ID
+	for i := 0; i < p.Processors; i++ {
+		id := hgraph.ID(fmt.Sprintf("uP%d", i+1))
+		ar.Vertex(id, spec.AttrCost, float64(100+20*i))
+		procs = append(procs, id)
+	}
+	for i := 0; i < p.ASICs; i++ {
+		id := hgraph.ID(fmt.Sprintf("AS%d", i+1))
+		ar.Vertex(id, spec.AttrCost, float64(250+30*i))
+		accels = append(accels, id)
+	}
+	var designs []hgraph.ID
+	if p.Designs > 0 {
+		fpga := ar.Interface("FPGA", hgraph.Port{Name: "bus"})
+		for i := 0; i < p.Designs; i++ {
+			id := hgraph.ID(fmt.Sprintf("DS%d", i+1))
+			fpga.Cluster(hgraph.ID(fmt.Sprintf("dDS%d", i+1))).
+				Vertex(id, spec.AttrCost, float64(50+10*i)).Bind("bus", id)
+			designs = append(designs, id)
+		}
+	}
+	// Buses: connect processors round-robin to ASICs, the FPGA and each
+	// other, so communication is possible but not universal.
+	nTargets := len(accels) + boolToInt(p.Designs > 0) + maxInt(0, len(procs)-1)
+	targets := func(i int) (hgraph.ID, string) {
+		k := i % nTargets
+		if k < len(accels) {
+			return accels[k], ""
+		}
+		k -= len(accels)
+		if p.Designs > 0 && k == 0 {
+			return "FPGA", "bus"
+		}
+		return procs[1+(k-boolToInt(p.Designs > 0))%maxInt(1, len(procs)-1)], ""
+	}
+	if nTargets == 0 {
+		p.Buses = 0
+	}
+	for i := 0; i < p.Buses; i++ {
+		id := hgraph.ID(fmt.Sprintf("B%d", i+1))
+		ar.Vertex(id, spec.AttrCost, float64(10+5*(i%3)), spec.AttrComm, 1)
+		from := procs[i%len(procs)]
+		ar.Edge(from, id)
+		to, port := targets(i)
+		if port != "" {
+			ar.PortEdge(id, "", to, port)
+		} else if to != from {
+			ar.Edge(id, to)
+		}
+	}
+	arch := ab.MustBuild()
+
+	// --- mapping edges ---
+	var mappings []*spec.Mapping
+	for _, proc := range processes {
+		base := float64(20 + rng.Intn(80))
+		accelOnly := proc != "Ctl" && (len(accels) > 0 || len(designs) > 0) &&
+			rng.Float64() < p.AccelOnlyFraction
+		if !accelOnly {
+			for _, r := range procs {
+				mappings = append(mappings, &spec.Mapping{
+					Process: proc, Resource: r,
+					Latency: base * (1 + 0.3*rng.Float64()),
+				})
+			}
+		}
+		onAccel := false
+		if len(accels) > 0 && (accelOnly || rng.Float64() < 0.5) {
+			r := accels[rng.Intn(len(accels))]
+			mappings = append(mappings, &spec.Mapping{
+				Process: proc, Resource: r, Latency: base / 3,
+			})
+			onAccel = true
+		}
+		if len(designs) > 0 && ((accelOnly && !onAccel) || rng.Float64() < 0.3) {
+			r := designs[rng.Intn(len(designs))]
+			mappings = append(mappings, &spec.Mapping{
+				Process: proc, Resource: r, Latency: base / 2,
+			})
+		}
+	}
+	return spec.MustNew(fmt.Sprintf("syn%d", p.Seed), problem, arch, mappings)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

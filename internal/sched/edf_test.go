@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEDFTest(t *testing.T) {
+	if !EDFTest([]Task{{ID: "a", WCET: 1, Period: 2}, {ID: "b", WCET: 1, Period: 2}}) {
+		t.Error("U = 1.0 is EDF-schedulable")
+	}
+	if EDFTest([]Task{{ID: "a", WCET: 2, Period: 3}, {ID: "b", WCET: 2, Period: 4}}) {
+		t.Error("U = 7/6 must be rejected")
+	}
+	if !EDFTest(nil) {
+		t.Error("empty set passes")
+	}
+}
+
+// TestEDFBeatsRM: the textbook set C=(2,4), T=(5,7): U = 0.971 — EDF
+// schedules it, rate-monotonic does not.
+func TestEDFBeatsRM(t *testing.T) {
+	tasks := []Task{
+		{ID: "t1", WCET: 2, Period: 5},
+		{ID: "t2", WCET: 4, Period: 7},
+	}
+	if RTATest(tasks) {
+		t.Error("RM should fail this set (R2 = 2+2+4 > 7... exact RTA rejects)")
+	}
+	rm, err := SimulateRM(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Feasible() {
+		t.Error("RM simulation should miss")
+	}
+	edf, err := SimulateEDF(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !edf.Feasible() {
+		t.Errorf("EDF should schedule U=0.971, misses %v", edf.Misses)
+	}
+	if edf.Hyperperiod != 35 {
+		t.Errorf("hyperperiod = %d, want 35", edf.Hyperperiod)
+	}
+}
+
+func TestSimulateEDFEdgeCases(t *testing.T) {
+	res, err := SimulateEDF(nil)
+	if err != nil || !res.Feasible() {
+		t.Error("empty set")
+	}
+	res, err = SimulateEDF([]Task{{ID: "x", WCET: 5, Period: 3}})
+	if err != nil || res.Feasible() {
+		t.Error("C > T infeasible")
+	}
+	if _, err := SimulateEDF([]Task{{ID: "x", WCET: 0.5, Period: 2}}); err == nil {
+		t.Error("non-integer rejected")
+	}
+	if _, err := SimulateEDF([]Task{
+		{ID: "a", WCET: 1, Period: 999983}, {ID: "b", WCET: 1, Period: 1000003},
+	}); err == nil {
+		t.Error("hyperperiod cap")
+	}
+}
+
+// Property: the EDF simulation agrees with the exact U ≤ 1 test, and
+// EDF schedules everything RM schedules.
+func TestPropEDFExactness(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		periods := []float64{8, 12, 16, 24, 48}
+		var tasks []Task
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			c := float64(1 + rng.Intn(8))
+			tasks = append(tasks, Task{ID: string(rune('a' + i)), WCET: c, Period: p})
+		}
+		edf, err := SimulateEDF(tasks)
+		if err != nil {
+			return false
+		}
+		if EDFTest(tasks) != edf.Feasible() {
+			return false
+		}
+		rm, err := SimulateRM(tasks)
+		if err != nil {
+			return false
+		}
+		if rm.Feasible() && !edf.Feasible() {
+			return false // EDF dominates fixed priority on one resource
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSimulateEDF(b *testing.B) {
+	tasks := []Task{
+		{ID: "a", WCET: 5, Period: 40}, {ID: "b", WCET: 10, Period: 80},
+		{ID: "c", WCET: 20, Period: 160}, {ID: "d", WCET: 40, Period: 320},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateEDF(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package sched provides the performance-estimation substrate of the
+// reproduction.
+//
+// The paper deliberately avoids full scheduling analysis during
+// exploration and instead "quickly estimate[s] the processor
+// utilization and use[s] the 69% limit as defined in [7] (Liu &
+// Layland) to accept or reject implementations". This package
+// implements exactly that test, plus — as validation substrates — the
+// exact Liu–Layland bound n(2^(1/n)−1), exact response-time analysis
+// for rate-monotonic scheduling, and a discrete-event rate-monotonic
+// simulator. The exploration engine only ever uses the paper's test;
+// the others exist to cross-check decisions and to implement the
+// paper's declared future work (scheduling).
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PaperUtilizationLimit is the constant utilization bound the paper
+// applies ("we define a maximal processor utilization of 69%").
+const PaperUtilizationLimit = 0.69
+
+// Task is a periodic task: it executes WCET time units every Period
+// time units and must finish before its next release (implicit
+// deadline). Tasks with Period <= 0 are untimed and contribute no load;
+// the paper's case study likewise neglects processes that run only at
+// start-up or negligibly often (authentification, controllers).
+type Task struct {
+	ID     string
+	WCET   float64
+	Period float64
+}
+
+// Utilization returns ΣC_i/T_i over the timed tasks.
+func Utilization(tasks []Task) float64 {
+	u := 0.0
+	for _, t := range tasks {
+		if t.Period > 0 {
+			u += t.WCET / t.Period
+		}
+	}
+	return u
+}
+
+// PaperTest is the paper's acceptance test: the estimated utilization
+// must not exceed the 69 % limit. An empty or untimed task set passes.
+func PaperTest(tasks []Task) bool {
+	return Utilization(tasks) <= PaperUtilizationLimit+1e-12
+}
+
+// LiuLaylandBound returns the exact Liu–Layland utilization bound
+// n(2^(1/n)−1) for n tasks; it tends to ln 2 ≈ 0.693 for large n (the
+// paper's 69 % constant).
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// LiuLaylandTest applies the exact Liu–Layland sufficient test: the
+// task-set utilization must not exceed the bound for its cardinality.
+func LiuLaylandTest(tasks []Task) bool {
+	n := 0
+	for _, t := range tasks {
+		if t.Period > 0 {
+			n++
+		}
+	}
+	return Utilization(tasks) <= LiuLaylandBound(n)+1e-12
+}
+
+// timed returns the timed tasks sorted by rate-monotonic priority
+// (shorter period first, ties by ID for determinism).
+func timed(tasks []Task) []Task {
+	var out []Task
+	for _, t := range tasks {
+		if t.Period > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Period != out[j].Period {
+			return out[i].Period < out[j].Period
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ResponseTimes performs exact response-time analysis for preemptive
+// rate-monotonic scheduling on one resource: R_i = C_i + Σ_{j∈hp(i)}
+// ⌈R_i/T_j⌉·C_j, iterated to the fixed point. It returns the response
+// time of every timed task (in priority order) and whether all tasks
+// meet their implicit deadlines. Tasks that cannot converge within
+// their period are reported infeasible.
+func ResponseTimes(tasks []Task) ([]float64, bool) {
+	ts := timed(tasks)
+	times := make([]float64, len(ts))
+	ok := true
+	for i, t := range ts {
+		r := t.WCET
+		for {
+			next := t.WCET
+			for j := 0; j < i; j++ {
+				next += math.Ceil(r/ts[j].Period) * ts[j].WCET
+			}
+			if next == r {
+				break
+			}
+			r = next
+			if r > t.Period {
+				ok = false
+				break
+			}
+		}
+		times[i] = r
+		if r > t.Period {
+			ok = false
+		}
+	}
+	return times, ok
+}
+
+// RTATest reports whether the task set is schedulable under preemptive
+// rate-monotonic scheduling according to exact response-time analysis.
+func RTATest(tasks []Task) bool {
+	_, ok := ResponseTimes(tasks)
+	return ok
+}
+
+// SimResult reports the outcome of a rate-monotonic simulation.
+type SimResult struct {
+	// Hyperperiod simulated (time units).
+	Hyperperiod int64
+	// MaxResponse maps task ID to the worst observed response time.
+	MaxResponse map[string]float64
+	// Misses lists IDs of tasks that missed at least one deadline.
+	Misses []string
+	// JobsCompleted counts all finished jobs.
+	JobsCompleted int
+}
+
+// Feasible reports whether no deadline was missed.
+func (r *SimResult) Feasible() bool { return len(r.Misses) == 0 }
+
+// maxHyperperiod bounds simulation length; task sets whose hyperperiod
+// exceeds it are rejected with an error rather than simulated forever.
+const maxHyperperiod = int64(50_000_000)
+
+// SimulateRM runs a discrete-event simulation of preemptive
+// rate-monotonic scheduling over one hyperperiod with synchronous
+// release, which is the critical instant for fixed-priority scheduling
+// with implicit deadlines; observing no miss there implies
+// schedulability. WCETs and periods must be non-negative integers
+// (the paper's case study uses integer nanoseconds).
+func SimulateRM(tasks []Task) (*SimResult, error) {
+	ts := timed(tasks)
+	res := &SimResult{MaxResponse: map[string]float64{}}
+	if len(ts) == 0 {
+		res.Hyperperiod = 0
+		return res, nil
+	}
+	periods := make([]int64, len(ts))
+	wcets := make([]int64, len(ts))
+	for i, t := range ts {
+		p := int64(math.Round(t.Period))
+		c := int64(math.Round(t.WCET))
+		if math.Abs(t.Period-float64(p)) > 1e-9 || math.Abs(t.WCET-float64(c)) > 1e-9 {
+			return nil, fmt.Errorf("sched: task %q has non-integer timing (C=%v, T=%v)", t.ID, t.WCET, t.Period)
+		}
+		if c > p {
+			// Trivially infeasible; avoid simulating a saturated system.
+			res.Misses = append(res.Misses, t.ID)
+		}
+		periods[i] = p
+		wcets[i] = c
+	}
+	if len(res.Misses) > 0 {
+		return res, nil
+	}
+	hyper := periods[0]
+	for _, p := range periods[1:] {
+		hyper = lcm(hyper, p)
+		if hyper > maxHyperperiod || hyper <= 0 {
+			return nil, fmt.Errorf("sched: hyperperiod exceeds %d", maxHyperperiod)
+		}
+	}
+	res.Hyperperiod = hyper
+
+	// remaining[i] is the unfinished work of task i's current job;
+	// release[i] is its release instant, deadline[i] its deadline.
+	remaining := make([]int64, len(ts))
+	release := make([]int64, len(ts))
+	deadline := make([]int64, len(ts))
+	missed := make([]bool, len(ts))
+	for i := range ts {
+		remaining[i] = wcets[i]
+		release[i] = 0
+		deadline[i] = periods[i]
+	}
+	now := int64(0)
+	for now < hyper {
+		// Highest-priority pending job (tasks are in priority order).
+		run := -1
+		for i := range ts {
+			if remaining[i] > 0 {
+				run = i
+				break
+			}
+		}
+		// Next event: a release, or the running job's completion.
+		next := hyper
+		for i := range ts {
+			r := release[i] + periods[i]
+			if r > now && r < next {
+				next = r
+			}
+		}
+		if run >= 0 && now+remaining[run] <= next {
+			next = now + remaining[run]
+		}
+		if run >= 0 {
+			remaining[run] -= next - now
+			if remaining[run] == 0 {
+				resp := float64(next - release[run])
+				if resp > res.MaxResponse[ts[run].ID] {
+					res.MaxResponse[ts[run].ID] = resp
+				}
+				if next > deadline[run] {
+					missed[run] = true
+				}
+				res.JobsCompleted++
+			}
+		}
+		now = next
+		// Process releases at the new instant.
+		for i := range ts {
+			for release[i]+periods[i] <= now {
+				if remaining[i] > 0 {
+					missed[i] = true // previous job still unfinished
+				}
+				release[i] += periods[i]
+				deadline[i] = release[i] + periods[i]
+				remaining[i] = wcets[i]
+			}
+		}
+	}
+	for i := range ts {
+		if remaining[i] > 0 && deadline[i] <= hyper {
+			missed[i] = true
+		}
+		if missed[i] {
+			res.Misses = append(res.Misses, ts[i].ID)
+		}
+	}
+	sort.Strings(res.Misses)
+	return res, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}
+
+// HyperbolicTest applies Bini's hyperbolic bound for rate-monotonic
+// scheduling: Π(U_i + 1) ≤ 2. It strictly dominates the Liu–Layland
+// bound (accepts every set LL accepts, plus more) while remaining only
+// sufficient.
+func HyperbolicTest(tasks []Task) bool {
+	prod := 1.0
+	for _, t := range tasks {
+		if t.Period > 0 {
+			prod *= t.WCET/t.Period + 1
+		}
+	}
+	return prod <= 2+1e-12
+}

@@ -1,0 +1,355 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilization(t *testing.T) {
+	tasks := []Task{
+		{ID: "a", WCET: 1, Period: 4},
+		{ID: "b", WCET: 1, Period: 2},
+		{ID: "untimed", WCET: 100, Period: 0},
+	}
+	if got := Utilization(tasks); got != 0.75 {
+		t.Errorf("Utilization = %v, want 0.75", got)
+	}
+	if got := Utilization(nil); got != 0 {
+		t.Errorf("Utilization(nil) = %v, want 0", got)
+	}
+}
+
+// TestPaperWorkedExamples reproduces the two utilization checks the
+// paper performs explicitly in Section 5 (experiment E9):
+//
+//	digital TV on μP2: (95+45)/300 ≤ 0.69 → accepted;
+//	game console on μP2: (95+90)/240 > 0.69 → rejected.
+func TestPaperWorkedExamples(t *testing.T) {
+	tv := []Task{
+		{ID: "PD1", WCET: 95, Period: 300},
+		{ID: "PU1", WCET: 45, Period: 300},
+	}
+	if !PaperTest(tv) {
+		t.Error("digital TV on uP2 should pass the 69% test")
+	}
+	game := []Task{
+		{ID: "PG1", WCET: 95, Period: 240},
+		{ID: "PDg", WCET: 90, Period: 240},
+	}
+	if PaperTest(game) {
+		t.Error("game console on uP2 must fail the 69% test")
+	}
+	// And on μP1 the game console fits: (75+70)/240 ≤ 0.69.
+	gameP1 := []Task{
+		{ID: "PG1", WCET: 75, Period: 240},
+		{ID: "PDg", WCET: 70, Period: 240},
+	}
+	if !PaperTest(gameP1) {
+		t.Error("game console on uP1 should pass the 69% test")
+	}
+}
+
+func TestPaperTestBoundary(t *testing.T) {
+	// Exactly 69% passes (the paper demands "less than" informally but
+	// uses ≤ in the worked example; we accept equality).
+	if !PaperTest([]Task{{ID: "x", WCET: 69, Period: 100}}) {
+		t.Error("exactly 0.69 should pass")
+	}
+	if PaperTest([]Task{{ID: "x", WCET: 70, Period: 100}}) {
+		t.Error("0.70 must fail")
+	}
+	if !PaperTest(nil) {
+		t.Error("empty task set should pass")
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	if got := LiuLaylandBound(1); got != 1 {
+		t.Errorf("LL(1) = %v, want 1", got)
+	}
+	if got := LiuLaylandBound(2); math.Abs(got-0.8284) > 1e-3 {
+		t.Errorf("LL(2) = %v, want ~0.8284", got)
+	}
+	if got := LiuLaylandBound(1000); math.Abs(got-math.Ln2) > 1e-3 {
+		t.Errorf("LL(1000) = %v, want ~ln2", got)
+	}
+	if got := LiuLaylandBound(0); got != 1 {
+		t.Errorf("LL(0) = %v, want 1", got)
+	}
+}
+
+func TestResponseTimesClassic(t *testing.T) {
+	// Classic example: U = 1/2+1/3 = 0.833 exceeds LL(2) ≈ 0.828 but is
+	// schedulable per exact analysis (R1 = 1, R2 = 2).
+	tasks := []Task{
+		{ID: "t1", WCET: 1, Period: 2},
+		{ID: "t2", WCET: 1, Period: 3},
+	}
+	if LiuLaylandTest(tasks) {
+		t.Error("LL sufficient test should reject U=0.833 for n=2")
+	}
+	times, ok := ResponseTimes(tasks)
+	if !ok {
+		t.Fatal("RTA should accept the classic example")
+	}
+	if times[0] != 1 || times[1] != 2 {
+		t.Errorf("response times = %v, want [1 2]", times)
+	}
+	if !RTATest(tasks) {
+		t.Error("RTATest should accept")
+	}
+}
+
+func TestResponseTimesInfeasible(t *testing.T) {
+	tasks := []Task{
+		{ID: "t1", WCET: 2, Period: 3},
+		{ID: "t2", WCET: 2, Period: 4},
+	}
+	if _, ok := ResponseTimes(tasks); ok {
+		t.Error("RTA should reject U > 1 set")
+	}
+}
+
+func TestResponseTimesUntimedOnly(t *testing.T) {
+	times, ok := ResponseTimes([]Task{{ID: "u", WCET: 5}})
+	if !ok || len(times) != 0 {
+		t.Errorf("untimed-only set: times=%v ok=%v, want empty/true", times, ok)
+	}
+}
+
+func TestSimulateRMSimple(t *testing.T) {
+	tasks := []Task{
+		{ID: "t1", WCET: 1, Period: 2},
+		{ID: "t2", WCET: 1, Period: 3},
+	}
+	res, err := SimulateRM(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Errorf("simulation reports misses: %v", res.Misses)
+	}
+	if res.Hyperperiod != 6 {
+		t.Errorf("hyperperiod = %d, want 6", res.Hyperperiod)
+	}
+	if res.JobsCompleted != 3+2 {
+		t.Errorf("jobs completed = %d, want 5", res.JobsCompleted)
+	}
+	if res.MaxResponse["t1"] != 1 {
+		t.Errorf("max response t1 = %v, want 1", res.MaxResponse["t1"])
+	}
+	if res.MaxResponse["t2"] != 2 {
+		t.Errorf("max response t2 = %v, want 2", res.MaxResponse["t2"])
+	}
+}
+
+func TestSimulateRMMiss(t *testing.T) {
+	// U = 3/4 + 2/8 = 1.0 is exactly schedulable with these harmonic-ish
+	// periods (low finishes right at its deadline) ...
+	exact := []Task{
+		{ID: "hog", WCET: 3, Period: 4},
+		{ID: "low", WCET: 2, Period: 8},
+	}
+	res, err := SimulateRM(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Errorf("U=1.0 harmonic set should be exactly feasible, misses: %v", res.Misses)
+	}
+	if res.MaxResponse["low"] != 8 {
+		t.Errorf("low max response = %v, want 8 (deadline hit exactly)", res.MaxResponse["low"])
+	}
+	// ... while U = 1.125 must miss for the low task.
+	over := []Task{
+		{ID: "hog", WCET: 3, Period: 4},
+		{ID: "low", WCET: 3, Period: 8},
+	}
+	res, err = SimulateRM(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible() {
+		t.Error("U=1.125 must miss for the low task")
+	}
+	if len(res.Misses) != 1 || res.Misses[0] != "low" {
+		t.Errorf("misses = %v, want [low]", res.Misses)
+	}
+}
+
+func TestSimulateRMOverloadedTask(t *testing.T) {
+	res, err := SimulateRM([]Task{{ID: "x", WCET: 5, Period: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible() {
+		t.Error("C > T must be infeasible")
+	}
+}
+
+func TestSimulateRMEmpty(t *testing.T) {
+	res, err := SimulateRM(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() || res.Hyperperiod != 0 {
+		t.Errorf("empty set: %+v", res)
+	}
+}
+
+func TestSimulateRMNonInteger(t *testing.T) {
+	if _, err := SimulateRM([]Task{{ID: "x", WCET: 0.5, Period: 2}}); err == nil {
+		t.Error("non-integer WCET should be rejected")
+	}
+}
+
+func TestSimulateRMHyperperiodCap(t *testing.T) {
+	tasks := []Task{
+		{ID: "a", WCET: 1, Period: 999983},  // prime
+		{ID: "b", WCET: 1, Period: 1000003}, // prime
+	}
+	if _, err := SimulateRM(tasks); err == nil {
+		t.Error("huge hyperperiod should be rejected")
+	}
+}
+
+// Property: the paper's 69% test is conservative — whenever it accepts,
+// exact RTA and the simulator also accept.
+func TestPropPaperTestConservative(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		var tasks []Task
+		periods := []float64{10, 20, 40, 80, 160}
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			c := float64(1 + rng.Intn(int(p)))
+			tasks = append(tasks, Task{ID: string(rune('a' + i)), WCET: c, Period: p})
+		}
+		if !PaperTest(tasks) {
+			return true // nothing to check
+		}
+		if !RTATest(tasks) {
+			return false
+		}
+		res, err := SimulateRM(tasks)
+		if err != nil {
+			return false
+		}
+		return res.Feasible()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: exact RTA and the discrete-event simulator agree on
+// feasibility, and on the response times of feasible sets.
+func TestPropRTAMatchesSimulation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		var tasks []Task
+		periods := []float64{8, 16, 24, 48}
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			c := float64(1 + rng.Intn(6))
+			tasks = append(tasks, Task{ID: string(rune('a' + i)), WCET: c, Period: p})
+		}
+		times, rtaOK := ResponseTimes(tasks)
+		res, err := SimulateRM(tasks)
+		if err != nil {
+			return false
+		}
+		if rtaOK != res.Feasible() {
+			return false
+		}
+		if rtaOK {
+			// Worst-case response observed in the synchronous-release
+			// simulation must match RTA exactly.
+			ts := timed(tasks)
+			for i, tk := range ts {
+				if res.MaxResponse[tk.ID] != times[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkResponseTimes(b *testing.B) {
+	tasks := []Task{
+		{ID: "a", WCET: 5, Period: 40}, {ID: "b", WCET: 10, Period: 80},
+		{ID: "c", WCET: 20, Period: 160}, {ID: "d", WCET: 40, Period: 320},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ResponseTimes(tasks)
+	}
+}
+
+func BenchmarkSimulateRM(b *testing.B) {
+	tasks := []Task{
+		{ID: "a", WCET: 5, Period: 40}, {ID: "b", WCET: 10, Period: 80},
+		{ID: "c", WCET: 20, Period: 160}, {ID: "d", WCET: 40, Period: 320},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateRM(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHyperbolicBound(t *testing.T) {
+	// U = (0.5, 0.333): LL(2) ≈ 0.828 rejects the classic set, the
+	// hyperbolic bound accepts it: 1.5 * 1.333 = 2.0 ≤ 2.
+	tasks := []Task{
+		{ID: "t1", WCET: 1, Period: 2},
+		{ID: "t2", WCET: 1, Period: 3},
+	}
+	if LiuLaylandTest(tasks) {
+		t.Error("LL rejects this set")
+	}
+	if !HyperbolicTest(tasks) {
+		t.Error("hyperbolic bound accepts (1.5)(4/3) = 2")
+	}
+	if HyperbolicTest([]Task{{ID: "x", WCET: 3, Period: 4}, {ID: "y", WCET: 1, Period: 5}}) {
+		t.Error("(1.75)(1.2) = 2.1 > 2 must be rejected")
+	}
+	if !HyperbolicTest(nil) {
+		t.Error("empty set passes")
+	}
+}
+
+// Property: the hyperbolic bound dominates Liu–Layland and is
+// conservative w.r.t. exact RTA.
+func TestPropHyperbolicDominatesLL(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		periods := []float64{10, 20, 40, 80}
+		var tasks []Task
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			c := float64(1 + rng.Intn(int(p)))
+			tasks = append(tasks, Task{ID: string(rune('a' + i)), WCET: c, Period: p})
+		}
+		if LiuLaylandTest(tasks) && !HyperbolicTest(tasks) {
+			return false
+		}
+		if HyperbolicTest(tasks) && !RTATest(tasks) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalJSON checks that arbitrary input never panics the
+// decoder and that everything it accepts survives a re-encode/re-decode
+// round trip with identical structure.
+func FuzzUnmarshalJSON(f *testing.F) {
+	s := buildMini(&testing.T{})
+	seed, err := s.MarshalJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","problem":{"root":{"id":"p","vertices":[{"id":"a"}]}},"arch":{"root":{"id":"t","vertices":[{"id":"r"}]}},"mappings":[{"process":"a","resource":"r","latency":3}]}`))
+	f.Add([]byte(`{"name":"x","problem":{"root":{"id":"p"}},"arch":{"root":{"id":"p"}}}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s1 Spec
+		if err := s1.UnmarshalJSON(data); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out1, err := s1.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted spec failed to marshal: %v", err)
+		}
+		var s2 Spec
+		if err := s2.UnmarshalJSON(out1); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		out2, err := s2.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("encode/decode not idempotent:\n%s\nvs\n%s", out1, out2)
+		}
+		if s1.VertexCount() != s2.VertexCount() || len(s1.Mappings) != len(s2.Mappings) {
+			t.Fatal("round trip changed structure")
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/hgraph"
+)
+
+// Reduce implements the paper's reduction step verbatim: "For every
+// possible resource allocation, we remove all resources that are not
+// activated from the architecture graph. By removing these elements,
+// also mapping edges are removed from the specification graph. Next, we
+// delete all vertices in the problem graph with no incident mapping
+// edge. This results in a reduced specification graph."
+//
+// Clusters of the problem graph that lose a vertex are removed entirely
+// (a cluster whose process cannot be bound can never be activated), and
+// interfaces that lose all clusters propagate the removal upward. The
+// architecture graph keeps only allocated elements; architecture
+// interfaces keep only allocated clusters. The reduced specification is
+// returned as an independent value; the receiver is not modified.
+//
+// The maximum flexibility of the reduced specification equals the
+// paper's flexibility estimation for the allocation.
+func (s *Spec) Reduce(a Allocation) (*Spec, error) {
+	avail := a.ResourceSet(s)
+
+	// --- architecture graph: keep allocated elements only ---
+	arch := s.Arch.Clone()
+	keepArch := func(c *hgraph.Cluster, top bool) {
+		var vs []*hgraph.Vertex
+		for _, v := range c.Vertices {
+			if !top || avail[v.ID] {
+				vs = append(vs, v)
+			}
+		}
+		c.Vertices = vs
+	}
+	keepArch(arch.Root, true)
+	var filterIfs func(c *hgraph.Cluster)
+	filterIfs = func(c *hgraph.Cluster) {
+		var ifs []*hgraph.Interface
+		for _, i := range c.Interfaces {
+			var cs []*hgraph.Cluster
+			for _, sub := range i.Clusters {
+				if a[sub.ID] {
+					filterIfs(sub)
+					cs = append(cs, sub)
+				}
+			}
+			i.Clusters = cs
+			if len(cs) > 0 {
+				ifs = append(ifs, i)
+			}
+		}
+		c.Interfaces = ifs
+	}
+	filterIfs(arch.Root)
+	pruneDanglingEdges(arch.Root)
+
+	// --- mapping edges: keep those into available resources ---
+	var mappings []*Mapping
+	hasMapping := map[hgraph.ID]bool{}
+	for _, m := range s.Mappings {
+		if avail[m.Resource] {
+			cm := *m
+			cm.Attrs = m.Attrs.Clone()
+			mappings = append(mappings, &cm)
+			hasMapping[m.Process] = true
+		}
+	}
+
+	// --- problem graph: drop unbindable vertices, then clusters ---
+	problem := s.Problem.Clone()
+	var reduceCluster func(c *hgraph.Cluster) bool // false = cluster dies
+	reduceCluster = func(c *hgraph.Cluster) bool {
+		for _, v := range c.Vertices {
+			if !hasMapping[v.ID] {
+				return false
+			}
+		}
+		var ifs []*hgraph.Interface
+		for _, i := range c.Interfaces {
+			var cs []*hgraph.Cluster
+			for _, sub := range i.Clusters {
+				if reduceCluster(sub) {
+					cs = append(cs, sub)
+				}
+			}
+			i.Clusters = cs
+			if len(cs) == 0 {
+				return false // interface unsatisfiable => cluster dies
+			}
+			ifs = append(ifs, i)
+		}
+		c.Interfaces = ifs
+		return true
+	}
+	if !reduceCluster(problem.Root) {
+		return nil, fmt.Errorf("spec %q: allocation %v is not possible (top level unbindable)", s.Name, a)
+	}
+	pruneDanglingEdges(problem.Root)
+	// Drop mapping edges whose process no longer exists.
+	probLeaves := map[hgraph.ID]bool{}
+	for _, v := range (&hgraph.Graph{Name: "tmp", Root: problem.Root}).Leaves() {
+		probLeaves[v.ID] = true
+	}
+	var kept []*Mapping
+	for _, m := range mappings {
+		if probLeaves[m.Process] {
+			kept = append(kept, m)
+		}
+	}
+
+	reducedProblem, err := hgraph.New(s.Problem.Name+"-reduced", problem.Root)
+	if err != nil {
+		return nil, fmt.Errorf("spec %q: reduced problem graph: %w", s.Name, err)
+	}
+	reducedArch, err := hgraph.New(s.Arch.Name+"-reduced", arch.Root)
+	if err != nil {
+		return nil, fmt.Errorf("spec %q: reduced architecture graph: %w", s.Name, err)
+	}
+	return New(s.Name+"-reduced", reducedProblem, reducedArch, kept)
+}
+
+// pruneDanglingEdges removes, in every cluster, edges whose endpoints
+// no longer exist in that cluster.
+func pruneDanglingEdges(c *hgraph.Cluster) {
+	local := map[hgraph.ID]bool{}
+	for _, v := range c.Vertices {
+		local[v.ID] = true
+	}
+	for _, i := range c.Interfaces {
+		local[i.ID] = true
+	}
+	var es []*hgraph.Edge
+	for _, e := range c.Edges {
+		if local[e.From] && local[e.To] {
+			es = append(es, e)
+		}
+	}
+	c.Edges = es
+	for _, i := range c.Interfaces {
+		for _, sub := range i.Clusters {
+			pruneDanglingEdges(sub)
+		}
+	}
+}

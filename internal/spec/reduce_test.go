@@ -1,0 +1,92 @@
+package spec
+
+import (
+	"testing"
+)
+
+func TestReduceToProcessorOnly(t *testing.T) {
+	s := buildMini(t)
+	r, err := s.Reduce(NewAllocation("uP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Problem side: PD2 (ASIC/FPGA only) is gone together with its
+	// cluster; gD1 and gU1 survive.
+	if r.Problem.VertexByID("PD2") != nil {
+		t.Error("PD2 must be removed (no mapping into {uP})")
+	}
+	if r.Problem.ClusterByID("gD2") != nil {
+		t.Error("cluster gD2 must be removed")
+	}
+	if r.Problem.VertexByID("PD1") == nil || r.Problem.VertexByID("PU1") == nil {
+		t.Error("bindable clusters must survive")
+	}
+	// Architecture side: only uP remains; the FPGA interface is gone.
+	if r.Arch.VertexByID("A") != nil || r.Arch.VertexByID("C1") != nil {
+		t.Error("unallocated resources must be removed")
+	}
+	if r.Arch.InterfaceByID("FPGA") != nil {
+		t.Error("FPGA interface without allocated designs must be removed")
+	}
+	// Mapping edges only into uP.
+	for _, m := range r.Mappings {
+		if m.Resource != "uP" {
+			t.Errorf("mapping %v survived reduction", m)
+		}
+	}
+	// Exactly one variant remains.
+	if got := r.Problem.CountVariants(); got != 1 {
+		t.Errorf("variants = %d, want 1", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("reduced spec invalid: %v", err)
+	}
+}
+
+func TestReducePreservesFPGADesign(t *testing.T) {
+	s := buildMini(t)
+	r, err := s.Reduce(NewAllocation("uP", "C1", "dD3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arch.InterfaceByID("FPGA") == nil || r.Arch.ClusterByID("dD3") == nil {
+		t.Error("allocated FPGA design must survive")
+	}
+	if r.Arch.ClusterByID("dU2") != nil {
+		t.Error("unallocated design must be removed")
+	}
+	// The bus edge uP–C1–FPGA survives; C2's edges are pruned.
+	for _, e := range r.Arch.Edges() {
+		if e.From == "C2" || e.To == "C2" {
+			t.Errorf("dangling edge %v survived", e)
+		}
+	}
+	// PD2 maps to D3 in the mini fixture, so gD2 survives here.
+	if r.Problem.ClusterByID("gD2") == nil {
+		t.Error("gD2 (bindable onto D3) must survive")
+	}
+}
+
+func TestReduceImpossibleAllocation(t *testing.T) {
+	s := buildMini(t)
+	if _, err := s.Reduce(NewAllocation("A")); err == nil {
+		t.Error("allocation without a processor for PA/PC must fail")
+	}
+	if _, err := s.Reduce(Allocation{}); err == nil {
+		t.Error("empty allocation must fail")
+	}
+}
+
+func TestReduceDoesNotMutateReceiver(t *testing.T) {
+	s := buildMini(t)
+	before := s.Problem.CountVariants()
+	if _, err := s.Reduce(NewAllocation("uP")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Problem.CountVariants() != before {
+		t.Error("Reduce mutated the receiver")
+	}
+	if s.Arch.VertexByID("A") == nil {
+		t.Error("Reduce removed resources from the receiver")
+	}
+}

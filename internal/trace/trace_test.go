@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hgraph"
+	"repro/internal/models"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func tvMode(d, u string) Mode {
+	return Mode{Name: "tv-" + d + u, Behaviour: hgraph.Selection{
+		"IApp": "gD", "ID": hgraph.ID(d), "IU": hgraph.ID(u)}}
+}
+
+func TestValidate(t *testing.T) {
+	m := []Mode{{Name: "a"}, {Name: "b"}}
+	good := &Chain{Modes: m, P: [][]float64{{0.5, 0.5}, {1, 0}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good chain rejected: %v", err)
+	}
+	bad := []*Chain{
+		{},
+		{Modes: m, P: [][]float64{{1, 0}}},
+		{Modes: m, P: [][]float64{{0.5, 0.4}, {1, 0}}},
+		{Modes: m, P: [][]float64{{-0.5, 1.5}, {1, 0}}},
+		{Modes: m, P: [][]float64{{1}, {1, 0}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad chain %d accepted", i)
+		}
+	}
+}
+
+func TestUniformAndStickyStationary(t *testing.T) {
+	modes := []Mode{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+	u := Uniform(modes)
+	pi, err := u.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pi {
+		if math.Abs(p-1.0/3) > 1e-9 {
+			t.Errorf("uniform stationary[%d] = %v, want 1/3", i, p)
+		}
+	}
+	s, err := Sticky(modes, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi2, err := s.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric sticky chain has uniform stationary distribution too.
+	for i, p := range pi2 {
+		if math.Abs(p-1.0/3) > 1e-9 {
+			t.Errorf("sticky stationary[%d] = %v, want 1/3", i, p)
+		}
+	}
+}
+
+func TestStickyEdgeCases(t *testing.T) {
+	if _, err := Sticky(nil, 0.5); err == nil {
+		t.Error("no modes should fail")
+	}
+	if _, err := Sticky([]Mode{{Name: "a"}}, 1.5); err == nil {
+		t.Error("bad probability should fail")
+	}
+	c, err := Sticky([]Mode{{Name: "a"}}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.Stationary()
+	if err != nil || pi[0] != 1 {
+		t.Errorf("single-mode stationary = %v (%v)", pi, err)
+	}
+}
+
+func TestStationaryBiasedChain(t *testing.T) {
+	// Two modes: from either, go to a with 0.8. Stationary: (0.8, 0.2).
+	c := &Chain{
+		Modes: []Mode{{Name: "a"}, {Name: "b"}},
+		P:     [][]float64{{0.8, 0.2}, {0.8, 0.2}},
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.8) > 1e-9 || math.Abs(pi[1]-0.2) > 1e-9 {
+		t.Errorf("stationary = %v, want (0.8, 0.2)", pi)
+	}
+}
+
+func TestStationaryPeriodicChain(t *testing.T) {
+	// A strictly alternating chain is periodic; the damped iteration
+	// still converges to (0.5, 0.5).
+	c := &Chain{
+		Modes: []Mode{{Name: "a"}, {Name: "b"}},
+		P:     [][]float64{{0, 1}, {1, 0}},
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-6 || math.Abs(pi[1]-0.5) > 1e-6 {
+		t.Errorf("stationary = %v, want (0.5, 0.5)", pi)
+	}
+}
+
+func TestGenerateDeterministicAndDistributed(t *testing.T) {
+	modes := []Mode{tvMode("gD1", "gU1"), tvMode("gD1", "gU2")}
+	c, err := Sticky(modes, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, err := c.Generate(3, 0, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := c.Generate(3, 0, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr1 {
+		if tr1[i].Behaviour.String() != tr2[i].Behaviour.String() {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+	if tr1[1].At != 10 {
+		t.Errorf("dt scaling wrong: %v", tr1[1].At)
+	}
+	// Empirical mode frequencies approach the stationary distribution.
+	count := 0
+	for _, r := range tr1 {
+		if r.Behaviour["IU"] == "gU1" {
+			count++
+		}
+	}
+	frac := float64(count) / float64(len(tr1))
+	if math.Abs(frac-0.5) > 0.1 {
+		t.Errorf("empirical frequency %v far from stationary 0.5", frac)
+	}
+	if _, err := c.Generate(1, 9, 10, 1); err == nil {
+		t.Error("bad start mode should fail")
+	}
+}
+
+func TestModesOf(t *testing.T) {
+	g := models.SetTopProblem()
+	modes := ModesOf(g, 0)
+	if len(modes) != 10 {
+		t.Errorf("modes = %d, want 10", len(modes))
+	}
+	if got := ModesOf(g, 4); len(got) != 4 {
+		t.Errorf("capped modes = %d, want 4", len(got))
+	}
+}
+
+// TestExpectedServiceLevelCaseStudy: a viewer-centric chain (mostly TV,
+// sometimes games, rarely browsing) against the $290 box, checked
+// against a long simulated trace.
+func TestExpectedServiceLevelCaseStudy(t *testing.T) {
+	s := models.SetTopBox()
+	im := core.Implement(s, spec.NewAllocation("uP2", "dD3", "dG1", "dU2", "C1"),
+		core.Options{AllBehaviours: true}, nil)
+	if im == nil {
+		t.Fatal("implement failed")
+	}
+	modes := ModesOf(s.Problem, 0)
+	chain, err := Sticky(modes, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExpectedServiceLevel(chain, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric sticky chain => uniform stationary => expected level is
+	// the behaviour fraction 5/10.
+	if math.Abs(want-0.5) > 1e-9 {
+		t.Errorf("expected level = %v, want 0.5", want)
+	}
+	tr, err := chain.Generate(11, 0, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(s, im, tr, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.ServedFraction()-want) > 0.05 {
+		t.Errorf("simulated %v vs analytic %v", rep.ServedFraction(), want)
+	}
+}
+
+// Property: stationary distributions are probability vectors and are
+// fixed points of the transition matrix.
+func TestPropStationaryFixedPoint(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		modes := make([]Mode, n)
+		p := make([][]float64, n)
+		for i := range p {
+			modes[i] = Mode{Name: string(rune('a' + i))}
+			p[i] = make([]float64, n)
+			sum := 0.0
+			for j := range p[i] {
+				p[i][j] = rng.Float64() + 0.01
+				sum += p[i][j]
+			}
+			for j := range p[i] {
+				p[i][j] /= sum
+			}
+		}
+		c := &Chain{Modes: modes, P: p}
+		pi, err := c.Stationary()
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, v := range pi {
+			if v < -1e-12 {
+				return false
+			}
+			total += v
+		}
+		if math.Abs(total-1) > 1e-6 {
+			return false
+		}
+		// πP ≈ π
+		for j := 0; j < n; j++ {
+			pj := 0.0
+			for i := 0; i < n; i++ {
+				pj += pi[i] * p[i][j]
+			}
+			if math.Abs(pj-pi[j]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStationary(b *testing.B) {
+	modes := make([]Mode, 10)
+	for i := range modes {
+		modes[i] = Mode{Name: string(rune('a' + i))}
+	}
+	c, err := Sticky(modes, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Stationary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dot"
 	"repro/internal/hgraph"
+	"repro/internal/lint"
 	"repro/internal/listsched"
 	"repro/internal/models"
 	"repro/internal/spec"
@@ -87,9 +88,16 @@ func main() {
 	family := flag.Bool("family", false, "product-family analysis of the front (entry costs, commonality, marginal costs)")
 	timing := flag.String("timing", "paper", "timing policy: paper|rta|ll|none")
 	weighted := flag.Bool("weighted", false, "use the weighted flexibility metric (footnote 2)")
+	lintMode := flag.String("lint", "on", "preflight static analysis: on | off (see docs/lint-codes.md)")
 	flag.Parse()
 
 	s := models.SetTopBox()
+	if *lintMode != "off" {
+		if err := lint.Preflight(s, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "casestudy:", err, "(rerun with -lint=off to explore anyway)")
+			os.Exit(1)
+		}
+	}
 	opts := core.Options{Timing: timingPolicy(*timing), Weighted: *weighted}
 
 	switch {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dot"
 	"repro/internal/hgraph"
+	"repro/internal/lint"
 	"repro/internal/models"
 	"repro/internal/spec"
 )
@@ -39,12 +40,19 @@ func main() {
 	objectives := flag.String("objectives", "", "comma-separated extra objectives beyond cost+1/flexibility: latency, or any resource attribute (e.g. power)")
 	upgradeFrom := flag.String("upgrade-from", "", "comma-separated deployed units; explore cost-ordered upgrades (supersets only)")
 	workers := flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS); front is identical to sequential")
+	lintMode := flag.String("lint", "on", "preflight static analysis: on | off (see docs/lint-codes.md)")
 	flag.Parse()
 
 	s, err := loadSpec(*specPath, *model, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
+	}
+	if *lintMode != "off" {
+		if err := lint.Preflight(s, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "explore:", err, "(rerun with -lint=off to explore anyway)")
+			os.Exit(1)
+		}
 	}
 
 	opts := core.Options{Weighted: *weighted, StopAtMaxFlex: *stopMax}

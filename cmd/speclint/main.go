@@ -1,0 +1,111 @@
+// Command speclint statically analyzes hierarchical specification
+// graphs (the JSON format of docs/spec-format.md) and reports modelling
+// defects — unmappable processes, dead clusters, communication-
+// infeasible dependences, unsatisfiable timing and more — as located,
+// coded diagnostics before any exploration is run. See
+// docs/lint-codes.md for the full catalogue.
+//
+// Usage:
+//
+//	speclint system.json             # lint, human-readable output
+//	speclint -format json system.json
+//	speclint -codes                  # list all diagnostic codes
+//	explore -spec system.json        # the same checks run as a preflight
+//
+// speclint accepts files that spec validation rejects: every structural
+// violation surfaces as a diagnostic instead of aborting the run. The
+// exit code is 1 when any error-severity diagnostic is found, 2 on
+// usage or read failures, and 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/spec"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("speclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "output format: text | json")
+	codes := fs.Bool("codes", false, "list every diagnostic code and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: speclint [-format text|json] [-codes] <spec.json ...>  (- for stdin)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *codes {
+		for _, p := range lint.AllPasses() {
+			fmt.Fprintf(stdout, "%s %s\n    %s\n", p.Code(), p.Name(), p.Doc())
+		}
+		return 0
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "speclint: unknown format %q (text | json)\n", *format)
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	exit := 0
+	var reports []*lint.Report
+	for _, path := range fs.Args() {
+		s, err := load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "speclint: %s: %v\n", path, err)
+			return 2
+		}
+		rep := lint.NewEngine().Run(s)
+		if rep.HasErrors() {
+			exit = 1
+		}
+		if *format == "json" {
+			reports = append(reports, rep)
+			continue
+		}
+		for _, d := range rep.Diagnostics {
+			fmt.Fprintf(stdout, "%s: %s\n", path, d)
+		}
+		errs, warns, infos := rep.Counts()
+		fmt.Fprintf(stdout, "%s: %d error(s), %d warning(s), %d info(s)\n", path, errs, warns, infos)
+	}
+	if *format == "json" {
+		var err error
+		if len(reports) == 1 {
+			err = reports[0].WriteJSON(stdout)
+		} else {
+			err = lint.WriteJSONReports(stdout, reports)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "speclint:", err)
+			return 2
+		}
+	}
+	return exit
+}
+
+// load reads a specification leniently: files that fail validation are
+// still analyzed, their defects become diagnostics.
+func load(path string) (*spec.Spec, error) {
+	if path == "-" {
+		return spec.ReadLenient(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return spec.ReadLenient(f)
+}

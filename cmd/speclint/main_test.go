@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chdirRepoRoot makes corpus paths in the output stable
+// ("testdata/lint/SL001.json") regardless of the package directory.
+func chdirRepoRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join(wd, "..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// corpusFiles returns the seeded-defect corpus, one file per code.
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "lint", "SL*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus missing: %v (%d files)", err, len(files))
+	}
+	sort.Strings(files)
+	return files
+}
+
+func codeOf(path string) string {
+	return strings.TrimSuffix(filepath.Base(path), ".json")
+}
+
+func checkGolden(t *testing.T, goldenPath string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestCorpusText checks that every seeded-defect file is flagged with
+// its eponymous code in text mode and that the full rendering matches
+// the golden output.
+func TestCorpusText(t *testing.T) {
+	chdirRepoRoot(t)
+	for _, f := range corpusFiles(t) {
+		code := codeOf(f)
+		var stdout, stderr bytes.Buffer
+		exit := run([]string{f}, &stdout, &stderr)
+		if stderr.Len() > 0 {
+			t.Errorf("%s: unexpected stderr: %s", f, stderr.String())
+		}
+		if !strings.Contains(stdout.String(), code) {
+			t.Errorf("%s: output does not flag %s:\n%s", f, code, stdout.String())
+		}
+		wantExit := 0
+		if strings.Contains(stdout.String(), "error SL") {
+			wantExit = 1
+		}
+		if exit != wantExit {
+			t.Errorf("%s: exit = %d, want %d", f, exit, wantExit)
+		}
+		checkGolden(t, filepath.Join("testdata", "lint", "golden", code+".txt"), stdout.Bytes())
+	}
+}
+
+// TestCorpusJSON checks the JSON rendering against golden files and
+// that it parses back into diagnostics carrying the eponymous code.
+func TestCorpusJSON(t *testing.T) {
+	chdirRepoRoot(t)
+	for _, f := range corpusFiles(t) {
+		code := codeOf(f)
+		var stdout, stderr bytes.Buffer
+		run([]string{"-format", "json", f}, &stdout, &stderr)
+		if stderr.Len() > 0 {
+			t.Errorf("%s: unexpected stderr: %s", f, stderr.String())
+		}
+		var rep struct {
+			Spec        string `json:"spec"`
+			Diagnostics []struct {
+				Code, Severity, Element, Message string
+			} `json:"diagnostics"`
+		}
+		if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+			t.Errorf("%s: bad JSON: %v", f, err)
+			continue
+		}
+		found := false
+		for _, d := range rep.Diagnostics {
+			if d.Code == code {
+				found = true
+			}
+			if d.Severity == "" || d.Element == "" || d.Message == "" {
+				t.Errorf("%s: incomplete diagnostic %+v", f, d)
+			}
+		}
+		if !found {
+			t.Errorf("%s: JSON output does not flag %s", f, code)
+		}
+		checkGolden(t, filepath.Join("testdata", "lint", "golden", code+".json.golden"), stdout.Bytes())
+	}
+}
+
+// TestCleanSpec: a defect-free specification produces no diagnostics
+// and exit code 0.
+func TestCleanSpec(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	exit := run([]string{filepath.Join("testdata", "lint", "clean.json")}, &stdout, &stderr)
+	if exit != 0 {
+		t.Errorf("exit = %d, want 0; output:\n%s%s", exit, stdout.String(), stderr.String())
+	}
+	if strings.Contains(stdout.String(), "SL0") {
+		t.Errorf("clean spec produced diagnostics:\n%s", stdout.String())
+	}
+}
+
+// TestSetTopLintsClean: the shipped case-study file must lint clean.
+func TestSetTopLintsClean(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	exit := run([]string{filepath.Join("testdata", "settop.json")}, &stdout, &stderr)
+	if exit != 0 || strings.Contains(stdout.String(), "SL0") {
+		t.Errorf("settop.json lints dirty (exit %d):\n%s%s", exit, stdout.String(), stderr.String())
+	}
+}
+
+// TestWholeCorpusExitsNonZero: linting the whole seeded corpus in one
+// invocation must fail the build (exit 1).
+func TestWholeCorpusExitsNonZero(t *testing.T) {
+	chdirRepoRoot(t)
+	var stdout, stderr bytes.Buffer
+	if exit := run(corpusFiles(t), &stdout, &stderr); exit != 1 {
+		t.Errorf("exit = %d, want 1", exit)
+	}
+}
+
+func TestCodesListing(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if exit := run([]string{"-codes"}, &stdout, &stderr); exit != 0 {
+		t.Fatalf("exit = %d", exit)
+	}
+	for i := 1; i <= 10; i++ {
+		code := fmt.Sprintf("SL%03d", i)
+		if !strings.Contains(stdout.String(), code) {
+			t.Errorf("-codes listing misses %s", code)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if exit := run(nil, &stdout, &stderr); exit != 2 {
+		t.Errorf("no args: exit = %d, want 2", exit)
+	}
+	if exit := run([]string{"-format", "xml", "x.json"}, &stdout, &stderr); exit != 2 {
+		t.Errorf("bad format: exit = %d, want 2", exit)
+	}
+	if exit := run([]string{"/nonexistent-spec.json"}, &stdout, &stderr); exit != 2 {
+		t.Errorf("missing file: exit = %d, want 2", exit)
+	}
+}

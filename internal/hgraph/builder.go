@@ -1,6 +1,9 @@
 package hgraph
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Builder constructs hierarchical graphs with error accumulation: every
 // construction method records problems instead of failing immediately,
@@ -24,10 +27,12 @@ func NewBuilder(graphName string, rootID ID) *Builder {
 // Root returns the builder for the top-level cluster.
 func (b *Builder) Root() *ClusterBuilder { return (*ClusterBuilder)(b.root) }
 
-// Build validates and returns the constructed graph.
+// Build validates and returns the constructed graph. When construction
+// methods recorded problems, all of them are reported at once (joined
+// with errors.Join), not just the first.
 func (b *Builder) Build() (*Graph, error) {
 	if len(b.errs) > 0 {
-		return nil, fmt.Errorf("hgraph: %d construction error(s), first: %w", len(b.errs), b.errs[0])
+		return nil, fmt.Errorf("hgraph: %d construction error(s): %w", len(b.errs), errors.Join(b.errs...))
 	}
 	return New(b.name, b.root.c)
 }

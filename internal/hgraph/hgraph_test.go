@@ -3,6 +3,7 @@ package hgraph
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -257,8 +258,21 @@ func TestBuilderErrorAccumulation(t *testing.T) {
 	b.Root().Vertex("v", "odd")              // odd attribute list
 	b.Root().Vertex("w", 1, 2)               // non-string key
 	b.Root().Vertex("x", "k", "not-numeric") // non-numeric value
-	if _, err := b.Build(); err == nil {
+	_, err := b.Build()
+	if err == nil {
 		t.Fatal("Build should fail with accumulated errors")
+	}
+	// All accumulated problems must be reported, not just the first.
+	msg := err.Error()
+	for _, want := range []string{
+		"3 construction error(s)",
+		"element v: odd attribute list",
+		"element w: attribute key 1 is not a string",
+		"element x: attribute k has non-numeric value not-numeric",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Build error lacks %q:\n%s", want, msg)
+		}
 	}
 }
 

@@ -1,0 +1,152 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/spec"
+)
+
+// minimal returns the JSON of a well-formed two-process specification
+// with the given fragments substituted in.
+func minimal(problemRoot, archRoot, mappings string) string {
+	if problemRoot == "" {
+		problemRoot = `{"id":"GP","vertices":[{"id":"A"},{"id":"B"}],"edges":[{"from":"A","to":"B"}]}`
+	}
+	if archRoot == "" {
+		archRoot = `{"id":"GA","vertices":[{"id":"R1","attrs":{"cost":10}}]}`
+	}
+	if mappings == "" {
+		mappings = `[{"process":"A","resource":"R1","latency":5},{"process":"B","resource":"R1","latency":5}]`
+	}
+	return `{"name":"t","problem":{"name":"p","root":` + problemRoot +
+		`},"arch":{"name":"a","root":` + archRoot + `},"mappings":` + mappings + `}`
+}
+
+// TestValidateRejectionsSurfaceAsErrors: every class of specification
+// that spec validation rejects must surface as at least one
+// error-severity SL0xx diagnostic, so the preflight never hides a
+// rejection behind a softer severity.
+func TestValidateRejectionsSurfaceAsErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		json     string
+		wantCode string
+	}{
+		{
+			"duplicate ID",
+			minimal(`{"id":"GP","vertices":[{"id":"A"},{"id":"A"},{"id":"B"}]}`, "", ""),
+			"SL009",
+		},
+		{
+			"empty ID",
+			minimal(`{"id":"GP","vertices":[{"id":"A"},{"id":"B"},{"id":""}]}`, "", ""),
+			"SL009",
+		},
+		{
+			"edge to unknown node",
+			minimal(`{"id":"GP","vertices":[{"id":"A"},{"id":"B"}],"edges":[{"from":"A","to":"NOPE"}]}`, "", ""),
+			"SL009",
+		},
+		{
+			"interface without clusters",
+			minimal(`{"id":"GP","vertices":[{"id":"A"},{"id":"B"}],"interfaces":[{"id":"I1"}]}`, "", ""),
+			"SL009",
+		},
+		{
+			"missing port binding",
+			minimal(`{"id":"GP","vertices":[{"id":"A"},{"id":"B"}],"interfaces":[{"id":"I1","ports":[{"name":"in"}],"clusters":[{"id":"g1","vertices":[{"id":"C"}]}]}]}`, "",
+				`[{"process":"A","resource":"R1","latency":5},{"process":"B","resource":"R1","latency":5},{"process":"C","resource":"R1","latency":5}]`),
+			"SL004",
+		},
+		{
+			"dangling port binding",
+			minimal(`{"id":"GP","vertices":[{"id":"A"},{"id":"B"}],"interfaces":[{"id":"I1","ports":[{"name":"in"}],"clusters":[{"id":"g1","vertices":[{"id":"C"}],"portBinding":{"in":"NOPE"}}]}]}`, "",
+				`[{"process":"A","resource":"R1","latency":5},{"process":"B","resource":"R1","latency":5},{"process":"C","resource":"R1","latency":5}]`),
+			"SL004",
+		},
+		{
+			"duplicate interface port",
+			minimal(`{"id":"GP","vertices":[{"id":"A"},{"id":"B"}],"interfaces":[{"id":"I1","ports":[{"name":"in"},{"name":"in"}],"clusters":[{"id":"g1","vertices":[{"id":"C"}],"portBinding":{"in":"C"}}]}]}`, "",
+				`[{"process":"A","resource":"R1","latency":5},{"process":"B","resource":"R1","latency":5},{"process":"C","resource":"R1","latency":5}]`),
+			"SL004",
+		},
+		{
+			"mapping from unknown process",
+			minimal("", "", `[{"process":"A","resource":"R1","latency":5},{"process":"B","resource":"R1","latency":5},{"process":"GHOST","resource":"R1","latency":5}]`),
+			"SL010",
+		},
+		{
+			"mapping onto unknown resource",
+			minimal("", "", `[{"process":"A","resource":"R1","latency":5},{"process":"B","resource":"NOPE","latency":5}]`),
+			"SL010",
+		},
+		{
+			"duplicate mapping",
+			minimal("", "", `[{"process":"A","resource":"R1","latency":5},{"process":"A","resource":"R1","latency":5},{"process":"B","resource":"R1","latency":5}]`),
+			"SL010",
+		},
+		{
+			"negative latency",
+			minimal("", "", `[{"process":"A","resource":"R1","latency":-5},{"process":"B","resource":"R1","latency":5}]`),
+			"SL005",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := spec.ReadLenient(strings.NewReader(tc.json))
+			if err != nil {
+				t.Fatalf("lenient read failed: %v", err)
+			}
+			if s.Validate() == nil {
+				t.Fatal("spec.Validate accepts the spec; test case is broken")
+			}
+			rep := lint.NewEngine().Run(s)
+			if !rep.HasErrors() {
+				t.Fatalf("lint reports no errors for a Validate-rejected spec; diagnostics: %v", rep.Diagnostics)
+			}
+			found := false
+			for _, d := range rep.Diagnostics {
+				if d.Code == tc.wantCode && d.Severity == lint.Error {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("want an error with code %s, got %v", tc.wantCode, rep.Diagnostics)
+			}
+		})
+	}
+}
+
+// TestCorpusAgreement checks both directions of the Validate/lint
+// contract on the shipped corpus: lint errors on every file Validate
+// rejects, and any file lint finds error-free passes Validate.
+func TestCorpusAgreement(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "lint", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("corpus missing: %v", err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := spec.ReadLenient(strings.NewReader(string(data)))
+		if err != nil {
+			t.Errorf("%s: lenient read failed: %v", f, err)
+			continue
+		}
+		rep := lint.NewEngine().Run(s)
+		if s.Validate() != nil && !rep.HasErrors() {
+			t.Errorf("%s: Validate rejects but lint reports no errors", f)
+		}
+		if !rep.HasErrors() && len(rep.Diagnostics) == 0 {
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s: lint-clean but Validate rejects: %v", f, err)
+			}
+		}
+	}
+}

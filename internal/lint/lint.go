@@ -1,0 +1,200 @@
+// Package lint is a multi-pass static analyzer for hierarchical
+// specification graphs (spec.Spec).
+//
+// The EXPLORE algorithm silently produces empty or misleading Pareto
+// fronts when its input is malformed in ways Validate does not catch:
+// a leaf without mapping edges makes every allocation impossible, a
+// process whose fastest mapping already exceeds its period can never
+// pass the Liu–Layland check, data-dependent processes whose candidate
+// resources share no bus can never be bound. This package turns those
+// modelling bugs into located, coded diagnostics before exploration
+// runs.
+//
+// Architecture: an Engine runs a sequence of passes over a shared
+// Context. The Context is built once per specification and precomputes
+// the facts several passes need (element paths, structural problems,
+// the union communication adjacency), so each pass is a pure function
+// from facts to diagnostics and a new check is one file implementing
+// Pass.
+//
+// Diagnostics carry a stable code (SL001…), a severity, the path of
+// the offending element, a message and a suggested fix; cmd/speclint
+// renders them as text or JSON, and cmd/explore / cmd/casestudy run
+// the engine as a preflight. The analyzer accepts specifications that
+// fail Validate (see spec.ReadLenient): every Validate rejection
+// surfaces as an error-severity diagnostic.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/spec"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities, ordered so that higher is more severe.
+const (
+	// Info marks an observation that needs no action.
+	Info Severity = iota
+	// Warn marks a likely modelling mistake that does not make the
+	// specification unusable.
+	Warn
+	// Error marks a defect that makes exploration wrong, empty or
+	// impossible. speclint exits non-zero iff an Error is present.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Diagnostic is one located finding.
+type Diagnostic struct {
+	// Code is the stable diagnostic code, e.g. "SL001".
+	Code string `json:"code"`
+	// Severity grades the finding.
+	Severity Severity `json:"severity"`
+	// Element is the path of the offending element inside the
+	// specification, e.g. "problem/GP/IApp/gD/ID/gD1/PD1" or
+	// "mapping/PU1=>uP2".
+	Element string `json:"element"`
+	// Message states the defect.
+	Message string `json:"message"`
+	// Fix suggests a repair; may be empty.
+	Fix string `json:"fix,omitempty"`
+}
+
+// String renders the diagnostic as a single line.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s %s %s: %s", d.Severity, d.Code, d.Element, d.Message)
+	if d.Fix != "" {
+		s += " (fix: " + d.Fix + ")"
+	}
+	return s
+}
+
+// Pass is one static-analysis check. Implementations live one per file
+// in this package; adding a check means implementing Pass and listing
+// it in AllPasses.
+type Pass interface {
+	// Code is the stable diagnostic code the pass emits, e.g. "SL001".
+	Code() string
+	// Name is a short kebab-case identifier, e.g. "unmappable-leaf".
+	Name() string
+	// Doc is a one-paragraph description (shown by speclint -codes and
+	// docs/lint-codes.md).
+	Doc() string
+	// Run analyzes the shared context and returns its findings.
+	Run(ctx *Context) []Diagnostic
+}
+
+// AllPasses returns every registered pass in code order.
+func AllPasses() []Pass {
+	return []Pass{
+		UnmappableLeafPass{},
+		DeadClusterPass{},
+		IsolatedResourcePass{},
+		PortConsistencyPass{},
+		AttributePass{},
+		TimingPass{},
+		CommInfeasiblePass{},
+		DegenerateInterfacePass{},
+		StructurePass{},
+		MappingPass{},
+	}
+}
+
+// Engine runs a fixed sequence of passes over one shared Context.
+type Engine struct {
+	passes []Pass
+}
+
+// NewEngine creates an engine; with no arguments it runs every
+// registered pass.
+func NewEngine(passes ...Pass) *Engine {
+	if len(passes) == 0 {
+		passes = AllPasses()
+	}
+	return &Engine{passes: passes}
+}
+
+// Run lints one specification. The specification may be unvalidated
+// (spec.ReadLenient) — structural defects become diagnostics, never
+// panics.
+func (e *Engine) Run(s *spec.Spec) *Report {
+	rep := &Report{Spec: s.Name}
+	if s.Problem == nil || s.Arch == nil {
+		rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+			Code: "SL009", Severity: Error, Element: "spec/" + s.Name,
+			Message: "problem and architecture graphs are required",
+			Fix:     `provide both "problem" and "arch" graphs`,
+		})
+		return rep
+	}
+	ctx := newContext(s)
+	for _, p := range e.passes {
+		rep.Diagnostics = append(rep.Diagnostics, p.Run(ctx)...)
+	}
+	sort.SliceStable(rep.Diagnostics, func(i, j int) bool {
+		a, b := rep.Diagnostics[i], rep.Diagnostics[j]
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Element != b.Element {
+			return a.Element < b.Element
+		}
+		return a.Message < b.Message
+	})
+	return rep
+}
+
+// Report is the result of linting one specification.
+type Report struct {
+	// Spec is the specification name.
+	Spec string `json:"spec"`
+	// Diagnostics is sorted by code, then element, then message.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// HasErrors reports whether any diagnostic has Error severity.
+func (r *Report) HasErrors() bool {
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Counts returns the number of diagnostics per severity.
+func (r *Report) Counts() (errors, warnings, infos int) {
+	for _, d := range r.Diagnostics {
+		switch d.Severity {
+		case Error:
+			errors++
+		case Warn:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}

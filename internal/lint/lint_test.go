@@ -1,0 +1,119 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/spec"
+)
+
+func readCorpus(t *testing.T, name string) *spec.Spec {
+	t.Helper()
+	f, err := os.Open(filepath.Join("..", "..", "testdata", "lint", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := spec.ReadLenient(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSeverityStrings(t *testing.T) {
+	cases := map[lint.Severity]string{lint.Info: "info", lint.Warn: "warn", lint.Error: "error"}
+	for sev, want := range cases {
+		if sev.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(sev), sev.String(), want)
+		}
+		data, err := json.Marshal(sev)
+		if err != nil || string(data) != `"`+want+`"` {
+			t.Errorf("Marshal(%v) = %s, %v", sev, data, err)
+		}
+	}
+}
+
+func TestPassRegistry(t *testing.T) {
+	passes := lint.AllPasses()
+	if len(passes) < 8 {
+		t.Fatalf("only %d passes registered, want >= 8", len(passes))
+	}
+	seen := map[string]bool{}
+	for _, p := range passes {
+		if p.Code() == "" || p.Name() == "" || p.Doc() == "" {
+			t.Errorf("pass %T has empty metadata", p)
+		}
+		if seen[p.Code()] {
+			t.Errorf("duplicate code %s", p.Code())
+		}
+		seen[p.Code()] = true
+	}
+}
+
+// TestReportSorted: diagnostics must come out ordered by code, element,
+// message so output (and golden files) are deterministic.
+func TestReportSorted(t *testing.T) {
+	rep := lint.NewEngine().Run(readCorpus(t, "SL002.json"))
+	if len(rep.Diagnostics) < 2 {
+		t.Fatal("expected several diagnostics")
+	}
+	ok := sort.SliceIsSorted(rep.Diagnostics, func(i, j int) bool {
+		a, b := rep.Diagnostics[i], rep.Diagnostics[j]
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Element != b.Element {
+			return a.Element < b.Element
+		}
+		return a.Message < b.Message
+	})
+	if !ok {
+		t.Errorf("diagnostics not sorted: %v", rep.Diagnostics)
+	}
+}
+
+func TestPreflight(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.Preflight(readCorpus(t, "clean.json"), &buf); err != nil {
+		t.Errorf("clean spec: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("clean spec produced output: %s", buf.String())
+	}
+	buf.Reset()
+	err := lint.Preflight(readCorpus(t, "SL001.json"), &buf)
+	if err == nil {
+		t.Error("defective spec: want error")
+	}
+	if !strings.Contains(buf.String(), "SL001") {
+		t.Errorf("preflight output misses SL001:\n%s", buf.String())
+	}
+}
+
+func TestNilGraphsDiagnostic(t *testing.T) {
+	rep := lint.NewEngine().Run(&spec.Spec{Name: "empty"})
+	if !rep.HasErrors() {
+		t.Fatal("spec without graphs must be an error")
+	}
+	if rep.Diagnostics[0].Code != "SL009" {
+		t.Errorf("code = %s, want SL009", rep.Diagnostics[0].Code)
+	}
+}
+
+func TestWriteJSONNeverNull(t *testing.T) {
+	var buf bytes.Buffer
+	rep := lint.NewEngine().Run(readCorpus(t, "clean.json"))
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "null") {
+		t.Errorf("JSON contains null: %s", buf.String())
+	}
+}

@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+// The shipped models are the reference inputs of every experiment; they
+// must lint clean (no errors, no warnings — info-severity observations
+// are acceptable).
+func TestModelsLintClean(t *testing.T) {
+	specs := []*spec.Spec{
+		models.SetTopBox(),
+		models.Decoder(),
+		models.SDR(),
+		models.Synthetic(models.DefaultSynthetic(1)),
+		models.Synthetic(models.DefaultSynthetic(7)),
+	}
+	for _, s := range specs {
+		rep := lint.NewEngine().Run(s)
+		errs, warns, _ := rep.Counts()
+		if errs > 0 || warns > 0 {
+			t.Errorf("model %q: %d error(s), %d warning(s):", s.Name, errs, warns)
+			for _, d := range rep.Diagnostics {
+				if d.Severity >= lint.Warn {
+					t.Errorf("  %s", d)
+				}
+			}
+		}
+	}
+}

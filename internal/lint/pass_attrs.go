@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/spec"
+)
+
+// AttributePass (SL005) checks the numeric annotations the exploration
+// consumes: allocation costs, execution latencies, timing periods and
+// flexibility weights. Negative values are errors (they corrupt cost
+// ordering, utilization sums and the weighted metric); an allocatable
+// unit without any cost attribute and a zero-latency mapping of a
+// timed process are reported as likely omissions.
+type AttributePass struct{}
+
+// Code implements Pass.
+func (AttributePass) Code() string { return "SL005" }
+
+// Name implements Pass.
+func (AttributePass) Name() string { return "attribute-sanity" }
+
+// Doc implements Pass.
+func (AttributePass) Doc() string {
+	return "A cost, latency, period or weight attribute is negative (breaking cost " +
+		"ordering, utilization analysis or the weighted flexibility metric), an " +
+		"allocatable unit carries no cost attribute at all (it is explored as free), " +
+		"or a timed process has a zero-latency mapping (missing latency?)."
+}
+
+// Run implements Pass.
+func (p AttributePass) Run(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	err := func(elem, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Code: p.Code(), Severity: Error, Element: elem,
+			Message: fmt.Sprintf(format, args...),
+			Fix:     "use a non-negative value",
+		})
+	}
+
+	// Architecture costs, at every level.
+	for _, v := range ctx.Spec.Arch.Leaves() {
+		if c := v.Attrs.GetDefault(spec.AttrCost, 0); c < 0 {
+			err(ctx.ArchPath(v.ID), "resource %q has negative cost %g", v.ID, c)
+		}
+	}
+	for _, c := range ctx.Spec.Arch.Clusters() {
+		if cost := c.Attrs.GetDefault(spec.AttrCost, 0); cost < 0 {
+			err(ctx.ArchPath(c.ID), "architecture cluster %q has negative cost %g", c.ID, cost)
+		}
+	}
+
+	// Problem periods and weights.
+	for _, v := range ctx.ProblemLeaves {
+		if t := v.Attrs.GetDefault(spec.AttrPeriod, 0); t < 0 {
+			err(ctx.ProblemPath(v.ID), "process %q has negative period %g", v.ID, t)
+		}
+	}
+	for _, c := range ctx.Spec.Problem.Clusters() {
+		if w := c.Attrs.GetDefault(spec.AttrWeight, 1); w < 0 {
+			err(ctx.ProblemPath(c.ID), "cluster %q has negative weight %g", c.ID, w)
+		}
+	}
+
+	// Mapping latencies.
+	for _, m := range ctx.Spec.Mappings {
+		if m.Latency < 0 {
+			err(MappingPath(m), "mapping %v has negative latency", m)
+		} else if m.Latency == 0 && ctx.Spec.Period(m.Process) > 0 {
+			out = append(out, Diagnostic{
+				Code: p.Code(), Severity: Warn, Element: MappingPath(m),
+				Message: fmt.Sprintf("mapping %v of timed process %q has zero latency; the timing check sees no load", m, m.Process),
+				Fix:     "annotate the mapping with the core execution time",
+			})
+		}
+	}
+
+	// Allocatable units without any explicit cost.
+	for _, u := range ctx.Units {
+		if u.Cost != 0 || unitHasCostAttr(ctx, u) {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Code: p.Code(), Severity: Warn, Element: ctx.ArchPath(u.ID),
+			Message: fmt.Sprintf("allocatable unit %q carries no cost attribute; exploration treats it as free", u.ID),
+			Fix:     fmt.Sprintf("annotate %q (or its resources) with a cost", u.ID),
+		})
+	}
+	return out
+}
+
+// unitHasCostAttr reports whether the unit element or any resource it
+// provides carries an explicit cost attribute.
+func unitHasCostAttr(ctx *Context, u alloc.Unit) bool {
+	if v := ctx.Spec.Arch.VertexByID(u.ID); v != nil {
+		if _, ok := v.Attrs.Get(spec.AttrCost); ok {
+			return true
+		}
+	}
+	if c := ctx.Spec.Arch.ClusterByID(u.ID); c != nil {
+		if _, ok := c.Attrs.Get(spec.AttrCost); ok {
+			return true
+		}
+	}
+	for _, r := range u.Resources {
+		if v := ctx.Spec.Arch.VertexByID(r); v != nil {
+			if _, ok := v.Attrs.Get(spec.AttrCost); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

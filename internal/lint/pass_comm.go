@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hgraph"
+)
+
+// CommInfeasiblePass (SL007) checks that every data dependence of the
+// problem graph can be implemented by at least one binding. A problem
+// edge between two processes needs its endpoints bound either to the
+// same resource, to directly linked resources, or to resources joined
+// by a communication resource. When no pair of candidate resources
+// admits any of these, every binding is rejected by the communication
+// feasibility rule and the edge makes all variants containing it
+// unimplementable.
+type CommInfeasiblePass struct{}
+
+// Code implements Pass.
+func (CommInfeasiblePass) Code() string { return "SL007" }
+
+// Name implements Pass.
+func (CommInfeasiblePass) Name() string { return "comm-infeasible" }
+
+// Doc implements Pass.
+func (CommInfeasiblePass) Doc() string {
+	return "A problem-graph dependence cannot be implemented by any binding: no pair " +
+		"of candidate resources of its endpoint processes is the same resource, " +
+		"directly linked, or joined through a communication resource. Every variant " +
+		"containing the edge is infeasible."
+}
+
+// Run implements Pass.
+func (p CommInfeasiblePass) Run(ctx *Context) []Diagnostic {
+	type pair struct{ a, b hgraph.ID }
+	reported := map[string]map[pair]bool{}
+	var out []Diagnostic
+	for _, e := range ctx.Spec.Problem.Edges() {
+		froms := ctx.Spec.Problem.EndpointLeaves(e.From, e.FromPort)
+		tos := ctx.Spec.Problem.EndpointLeaves(e.To, e.ToPort)
+		for _, p1 := range froms {
+			for _, p2 := range tos {
+				if p1 == p2 {
+					continue
+				}
+				r1s := ctx.CandidateResources(p1)
+				r2s := ctx.CandidateResources(p2)
+				if len(r1s) == 0 || len(r2s) == 0 {
+					continue // SL001 territory
+				}
+				feasible := false
+				for _, r1 := range r1s {
+					for _, r2 := range r2s {
+						if ctx.CanEverCommunicate(r1, r2) {
+							feasible = true
+							break
+						}
+					}
+					if feasible {
+						break
+					}
+				}
+				if feasible {
+					continue
+				}
+				elem := ctx.ProblemPath(e.ID)
+				if reported[elem] == nil {
+					reported[elem] = map[pair]bool{}
+				}
+				if reported[elem][pair{p1, p2}] {
+					continue
+				}
+				reported[elem][pair{p1, p2}] = true
+				out = append(out, Diagnostic{
+					Code: p.Code(), Severity: Error, Element: elem,
+					Message: fmt.Sprintf("dependence %s->%s between %q and %q is communication-infeasible: no candidate resource pair is linked, shared, or joined by a bus (candidates %v vs %v)",
+						e.From, e.To, p1, p2, r1s, r2s),
+					Fix: fmt.Sprintf("add a bus linking the resources of %q and %q, or map both onto a shared resource", p1, p2),
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Message < out[j].Message })
+	return out
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/hgraph"
+)
+
+// DeadClusterPass (SL002) finds problem-graph clusters that no resource
+// allocation can ever activate: even with every allocatable unit
+// present, some vertex of the cluster stays unmappable, or some of its
+// interfaces has no activatable refinement. Dead clusters inflate the
+// variant count |V_S| without ever contributing to flexibility; a dead
+// root means no possible allocation exists at all and EXPLORE returns
+// an empty front.
+type DeadClusterPass struct{}
+
+// Code implements Pass.
+func (DeadClusterPass) Code() string { return "SL002" }
+
+// Name implements Pass.
+func (DeadClusterPass) Name() string { return "dead-cluster" }
+
+// Doc implements Pass.
+func (DeadClusterPass) Doc() string {
+	return "A problem-graph cluster cannot be activated by any resource allocation, " +
+		"even the full one — one of its own processes is unmappable or one of its " +
+		"interfaces has no activatable refinement. The cluster contributes nothing to " +
+		"flexibility and inflates the design-space headline; a dead root cluster " +
+		"guarantees an empty Pareto front."
+}
+
+// Run implements Pass.
+func (p DeadClusterPass) Run(ctx *Context) []Diagnostic {
+	// alive mirrors alloc.SupportableClusters under the full allocation,
+	// but is evaluated for every cluster independently of its ancestors
+	// so a single dead cluster does not drag its healthy descendants
+	// into the report.
+	memo := map[hgraph.ID]bool{}
+	var alive func(c *hgraph.Cluster) bool
+	alive = func(c *hgraph.Cluster) bool {
+		if v, seen := memo[c.ID]; seen {
+			return v
+		}
+		memo[c.ID] = true // break cycles on malformed graphs
+		res := true
+		for _, v := range c.Vertices {
+			if len(ctx.ValidMappings(v.ID)) == 0 {
+				res = false
+				break
+			}
+		}
+		if res {
+			for _, i := range c.Interfaces {
+				any := false
+				for _, sub := range i.Clusters {
+					if alive(sub) {
+						any = true
+					}
+				}
+				if !any && len(i.Clusters) > 0 {
+					res = false
+					break
+				}
+			}
+		}
+		memo[c.ID] = res
+		return res
+	}
+
+	var out []Diagnostic
+	for _, c := range ctx.Spec.Problem.Clusters() {
+		if alive(c) {
+			continue
+		}
+		sev := Warn
+		msg := fmt.Sprintf("cluster %q can never be activated by any resource allocation; it adds behaviour variants that no implementation realizes", c.ID)
+		fix := fmt.Sprintf("map the unmappable processes below %q, or remove the cluster", c.ID)
+		if c.ID == ctx.Spec.Problem.Root.ID {
+			sev = Error
+			msg = fmt.Sprintf("the always-active top level %q is not implementable by any allocation; exploration will return an empty front", c.ID)
+			fix = "ensure every top-level process and at least one cluster per top-level interface is mappable"
+		}
+		out = append(out, Diagnostic{
+			Code: p.Code(), Severity: sev, Element: ctx.ProblemPath(c.ID),
+			Message: msg, Fix: fix,
+		})
+	}
+	return out
+}

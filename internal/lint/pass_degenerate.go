@@ -1,0 +1,49 @@
+package lint
+
+// DegenerateInterfacePass (SL008) finds interfaces refined by exactly
+// one cluster. Interfaces exist to hold alternatives; a one-cluster
+// interface is pure nesting overhead. In the problem graph it adds no
+// behaviour variant (Def. 4 counts a factor of 1), so it contributes
+// nothing to flexibility; in the architecture graph it models a
+// "reconfigurable" slot that can only ever hold one design.
+type DegenerateInterfacePass struct{}
+
+// Code implements Pass.
+func (DegenerateInterfacePass) Code() string { return "SL008" }
+
+// Name implements Pass.
+func (DegenerateInterfacePass) Name() string { return "degenerate-interface" }
+
+// Doc implements Pass.
+func (DegenerateInterfacePass) Doc() string {
+	return "An interface is refined by exactly one cluster. In the problem graph it " +
+		"multiplies the variant count by one and contributes nothing to flexibility; " +
+		"in the architecture graph it offers no reconfigurability. Either add " +
+		"alternatives or inline the cluster."
+}
+
+// Run implements Pass.
+func (p DegenerateInterfacePass) Run(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for _, i := range ctx.Spec.Problem.Interfaces() {
+		if len(i.Clusters) != 1 {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Code: p.Code(), Severity: Warn, Element: ctx.ProblemPath(i.ID),
+			Message: "interface \"" + string(i.ID) + "\" has exactly one refining cluster; it adds no behaviour variant and contributes nothing to flexibility",
+			Fix:     "add an alternative cluster to \"" + string(i.ID) + "\" or inline its single cluster",
+		})
+	}
+	for _, i := range ctx.Spec.Arch.Interfaces() {
+		if len(i.Clusters) != 1 {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Code: p.Code(), Severity: Info, Element: ctx.ArchPath(i.ID),
+			Message: "architecture interface \"" + string(i.ID) + "\" has exactly one refining cluster; the slot offers no reconfigurability",
+			Fix:     "add an alternative design to \"" + string(i.ID) + "\" or inline its single cluster",
+		})
+	}
+	return out
+}

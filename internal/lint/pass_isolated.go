@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/hgraph"
+)
+
+// IsolatedResourcePass (SL003) finds architecture leaves that have no
+// incident edge (neither a local edge nor a port binding routing
+// external edges to them) and no mapping edge onto them. Allocating
+// such a resource only adds cost: nothing can run on it and nothing
+// can route through it.
+type IsolatedResourcePass struct{}
+
+// Code implements Pass.
+func (IsolatedResourcePass) Code() string { return "SL003" }
+
+// Name implements Pass.
+func (IsolatedResourcePass) Name() string { return "isolated-resource" }
+
+// Doc implements Pass.
+func (IsolatedResourcePass) Doc() string {
+	return "An architecture resource has no incident edge, is not bound to any " +
+		"interface port, and no mapping edge targets it. It can neither execute a " +
+		"process nor carry communication, so allocating it is pure wasted cost."
+}
+
+// Run implements Pass.
+func (p IsolatedResourcePass) Run(ctx *Context) []Diagnostic {
+	// connected collects every leaf that some edge or port binding can
+	// reach, at any level of the hierarchy.
+	connected := map[hgraph.ID]bool{}
+	var walk func(c *hgraph.Cluster)
+	walk = func(c *hgraph.Cluster) {
+		for _, e := range c.Edges {
+			connected[e.From] = true
+			connected[e.To] = true
+		}
+		for _, t := range c.PortBinding {
+			connected[t] = true
+		}
+		for _, i := range c.Interfaces {
+			for _, sub := range i.Clusters {
+				walk(sub)
+			}
+		}
+	}
+	walk(ctx.Spec.Arch.Root)
+
+	var out []Diagnostic
+	for _, v := range ctx.ArchLeaves {
+		if connected[v.ID] || len(ctx.Spec.MappingsOnto(v.ID)) > 0 {
+			continue
+		}
+		kind := "resource"
+		if ctx.Spec.IsComm(v.ID) {
+			kind = "communication resource"
+		}
+		out = append(out, Diagnostic{
+			Code: p.Code(), Severity: Warn, Element: ctx.ArchPath(v.ID),
+			Message: fmt.Sprintf("%s %q has no links and no mapping edges; allocating it is wasted cost", kind, v.ID),
+			Fix:     fmt.Sprintf("connect %q to the architecture, map a process onto it, or remove it", v.ID),
+		})
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/hgraph"
+)
+
+// MappingPass (SL010) checks the user-defined mapping edges E_M: each
+// must link an existing problem-graph leaf to an existing
+// architecture-graph leaf, and no (process, resource) pair may appear
+// twice. Mappings failing these rules are ignored by every analysis,
+// which usually hides a typo in an element name.
+type MappingPass struct{}
+
+// Code implements Pass.
+func (MappingPass) Code() string { return "SL010" }
+
+// Name implements Pass.
+func (MappingPass) Name() string { return "mapping-sanity" }
+
+// Doc implements Pass.
+func (MappingPass) Doc() string {
+	return "A mapping edge does not link a problem-graph leaf to an " +
+		"architecture-graph leaf, or the same (process, resource) pair is mapped " +
+		"twice. Such edges are rejected by validation; a dangling endpoint is " +
+		"usually a typo in an element name."
+}
+
+// Run implements Pass.
+func (p MappingPass) Run(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	seen := map[[2]hgraph.ID]bool{}
+	for _, m := range ctx.Spec.Mappings {
+		if ctx.Spec.Problem.VertexByID(m.Process) == nil {
+			out = append(out, Diagnostic{
+				Code: p.Code(), Severity: Error, Element: MappingPath(m),
+				Message: fmt.Sprintf("mapping %v: %q is not a problem-graph leaf", m, m.Process),
+				Fix:     fmt.Sprintf("point the mapping at an existing process (is %q a typo?)", m.Process),
+			})
+		}
+		if !ctx.IsArchLeaf(m.Resource) {
+			out = append(out, Diagnostic{
+				Code: p.Code(), Severity: Error, Element: MappingPath(m),
+				Message: fmt.Sprintf("mapping %v: %q is not an architecture-graph leaf", m, m.Resource),
+				Fix:     fmt.Sprintf("point the mapping at an existing resource (is %q a typo?)", m.Resource),
+			})
+		}
+		key := [2]hgraph.ID{m.Process, m.Resource}
+		if seen[key] {
+			out = append(out, Diagnostic{
+				Code: p.Code(), Severity: Error, Element: MappingPath(m),
+				Message: fmt.Sprintf("duplicate mapping %v", m),
+				Fix:     "remove the duplicate edge",
+			})
+		}
+		seen[key] = true
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package lint
+
+import "repro/internal/hgraph"
+
+// PortConsistencyPass (SL004) reports port-mapping inconsistencies
+// across interface/cluster boundaries in either graph: clusters that do
+// not bind every port of the interface they refine, bindings that
+// target nodes outside the cluster or ports the interface never
+// declared, interfaces declaring a port twice, and edges whose
+// interface endpoints name missing ports (or whose vertex endpoints
+// name any port). Flattening either fails or silently drops
+// dependences on such graphs.
+type PortConsistencyPass struct{}
+
+// Code implements Pass.
+func (PortConsistencyPass) Code() string { return "SL004" }
+
+// Name implements Pass.
+func (PortConsistencyPass) Name() string { return "port-inconsistency" }
+
+// Doc implements Pass.
+func (PortConsistencyPass) Doc() string {
+	return "A port mapping is inconsistent across an interface/cluster boundary: a " +
+		"refining cluster misses a binding or binds to a non-internal node or an " +
+		"undeclared port, an interface declares a port twice, or an edge names a " +
+		"port that does not exist. Flattening cannot resolve such edges."
+}
+
+// Run implements Pass.
+func (p PortConsistencyPass) Run(ctx *Context) []Diagnostic {
+	isPortKind := func(k hgraph.ProblemKind) bool {
+		return k == hgraph.ProblemPortBinding || k == hgraph.ProblemEdgePort || k == hgraph.ProblemDuplicatePort
+	}
+	var out []Diagnostic
+	emit := func(issues []hgraph.Problem, path func(hgraph.ID) string) {
+		for _, pr := range issues {
+			if !isPortKind(pr.Kind) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Code: p.Code(), Severity: Error, Element: path(pr.Element),
+				Message: pr.Message,
+				Fix:     "align the interface's port list with the cluster's portBinding and the attaching edges",
+			})
+		}
+	}
+	emit(ctx.ProblemIssues, ctx.ProblemPath)
+	emit(ctx.ArchIssues, ctx.ArchPath)
+	return out
+}

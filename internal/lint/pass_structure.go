@@ -1,0 +1,56 @@
+package lint
+
+import "repro/internal/hgraph"
+
+// StructurePass (SL009) surfaces the structural well-formedness
+// violations of either graph that are not port-mapping issues (those
+// are SL004): empty and duplicate IDs, interfaces without clusters,
+// and edges with dangling endpoints. These are the hard invariants
+// spec.Validate enforces; lint reports all of them at once instead of
+// stopping at the first.
+type StructurePass struct{}
+
+// Code implements Pass.
+func (StructurePass) Code() string { return "SL009" }
+
+// Name implements Pass.
+func (StructurePass) Name() string { return "structure" }
+
+// Doc implements Pass.
+func (StructurePass) Doc() string {
+	return "A graph violates a structural invariant: an element has an empty or " +
+		"duplicate ID, an interface has no refining cluster, or an edge endpoint " +
+		"names a node that is not visible in its cluster. Such graphs are rejected " +
+		"by validation and cannot be explored."
+}
+
+// Run implements Pass.
+func (p StructurePass) Run(ctx *Context) []Diagnostic {
+	isStructKind := func(k hgraph.ProblemKind) bool {
+		switch k {
+		case hgraph.ProblemEmptyID, hgraph.ProblemDuplicateID, hgraph.ProblemInterfaceNoCluster, hgraph.ProblemEdgeEndpoint:
+			return true
+		}
+		return false
+	}
+	var out []Diagnostic
+	emit := func(label string, issues []hgraph.Problem, path func(hgraph.ID) string) {
+		for _, pr := range issues {
+			if !isStructKind(pr.Kind) {
+				continue
+			}
+			elem := label
+			if pr.Element != "" {
+				elem = path(pr.Element)
+			}
+			out = append(out, Diagnostic{
+				Code: p.Code(), Severity: Error, Element: elem,
+				Message: pr.Message,
+				Fix:     "restore the structural invariant (unique non-empty IDs, >=1 cluster per interface, visible edge endpoints)",
+			})
+		}
+	}
+	emit("problem", ctx.ProblemIssues, ctx.ProblemPath)
+	emit("arch", ctx.ArchIssues, ctx.ArchPath)
+	return out
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sched"
+)
+
+// TimingPass (SL006) performs a per-process best-case schedulability
+// check. For a timed process the utilization it contributes is at least
+// min-latency/period, no matter which resource it is bound to and what
+// else runs there. If even that lower bound exceeds 1 the process can
+// never meet its period under any policy; if it exceeds the paper's
+// 69% Liu–Layland limit on its own, every binding that shares the
+// process's best resource with anything else is rejected.
+type TimingPass struct{}
+
+// Code implements Pass.
+func (TimingPass) Code() string { return "SL006" }
+
+// Name implements Pass.
+func (TimingPass) Name() string { return "unsatisfiable-timing" }
+
+// Doc implements Pass.
+func (TimingPass) Doc() string {
+	return "A timed process is unschedulable in the best case: its minimal execution " +
+		"latency over all mapping edges exceeds its period (no policy can ever meet " +
+		"the constraint), or the ratio alone exceeds the paper's 69% utilization " +
+		"limit, leaving no headroom to share the resource."
+}
+
+// Run implements Pass.
+func (p TimingPass) Run(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for _, v := range ctx.ProblemLeaves {
+		period := ctx.Spec.Period(v.ID)
+		if period <= 0 {
+			continue
+		}
+		ms := ctx.ValidMappings(v.ID)
+		if len(ms) == 0 {
+			continue // SL001 territory
+		}
+		minLat := math.Inf(1)
+		for _, m := range ms {
+			if m.Latency < minLat {
+				minLat = m.Latency
+			}
+		}
+		switch {
+		case minLat > period:
+			out = append(out, Diagnostic{
+				Code: p.Code(), Severity: Error, Element: ctx.ProblemPath(v.ID),
+				Message: fmt.Sprintf("process %q can never meet its period: minimal latency %g over all mappings exceeds period %g", v.ID, minLat, period),
+				Fix:     fmt.Sprintf("add a faster mapping for %q or relax its period", v.ID),
+			})
+		case minLat/period > sched.PaperUtilizationLimit:
+			out = append(out, Diagnostic{
+				Code: p.Code(), Severity: Warn, Element: ctx.ProblemPath(v.ID),
+				Message: fmt.Sprintf("process %q alone loads its best resource to %.0f%%, above the paper's 69%% utilization limit; it cannot share a resource with any other timed process", v.ID, 100*minLat/period),
+				Fix:     fmt.Sprintf("add a faster mapping for %q or expect it to monopolize a resource", v.ID),
+			})
+		}
+	}
+	return out
+}

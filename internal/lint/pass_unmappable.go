@@ -1,0 +1,38 @@
+package lint
+
+import "fmt"
+
+// UnmappableLeafPass (SL001) finds problem-graph leaves with no mapping
+// edge onto any existing architecture resource. Such a leaf makes every
+// cluster containing it unimplementable in every allocation — if it
+// sits at the top level, EXPLORE returns an empty front.
+type UnmappableLeafPass struct{}
+
+// Code implements Pass.
+func (UnmappableLeafPass) Code() string { return "SL001" }
+
+// Name implements Pass.
+func (UnmappableLeafPass) Name() string { return "unmappable-leaf" }
+
+// Doc implements Pass.
+func (UnmappableLeafPass) Doc() string {
+	return "A problem-graph leaf has no mapping edge onto any existing architecture " +
+		"resource. No binding can ever activate it, so every cluster that contains it " +
+		"is unimplementable; at the top level this guarantees an empty Pareto front."
+}
+
+// Run implements Pass.
+func (p UnmappableLeafPass) Run(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for _, v := range ctx.ProblemLeaves {
+		if len(ctx.ValidMappings(v.ID)) > 0 {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Code: p.Code(), Severity: Error, Element: ctx.ProblemPath(v.ID),
+			Message: fmt.Sprintf("process %q has no mapping edge onto any architecture resource", v.ID),
+			Fix:     fmt.Sprintf("add a mapping edge from %q to a resource that can implement it", v.ID),
+		})
+	}
+	return out
+}

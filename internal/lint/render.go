@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/spec"
+)
+
+// WriteText renders the report as human-readable lines followed by a
+// one-line summary, mirroring the format of conventional linters.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	errs, warns, infos := r.Counts()
+	_, err := fmt.Fprintf(w, "%s: %d error(s), %d warning(s), %d info(s)\n", r.Spec, errs, warns, infos)
+	return err
+}
+
+// WriteJSON renders the report as indented JSON. Diagnostics is always
+// an array, never null.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := *r
+	if out.Diagnostics == nil {
+		out.Diagnostics = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// WriteJSONReports renders several reports as one indented JSON array.
+func WriteJSONReports(w io.Writer, reports []*Report) error {
+	out := make([]Report, len(reports))
+	for i, r := range reports {
+		out[i] = *r
+		if out[i].Diagnostics == nil {
+			out[i].Diagnostics = []Diagnostic{}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Preflight lints the specification with every registered pass, writes
+// any findings to w, and returns an error iff the report contains
+// error-severity diagnostics. cmd/explore and cmd/casestudy call this
+// before exploring.
+func Preflight(s *spec.Spec, w io.Writer) error {
+	rep := NewEngine().Run(s)
+	if len(rep.Diagnostics) > 0 {
+		if err := rep.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if rep.HasErrors() {
+		errs, _, _ := rep.Counts()
+		return fmt.Errorf("lint: %d error(s) in specification %q", errs, s.Name)
+	}
+	return nil
+}

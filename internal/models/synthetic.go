@@ -78,12 +78,21 @@ func Synthetic(p SyntheticParams) *spec.Spec {
 	var processes []hgraph.ID
 	processes = append(processes, "Ctl")
 	vertexCount := 0
+	// clusterOf records which cluster each process belongs to; accel-only
+	// processes of one cluster are later mapped onto one shared ASIC so
+	// their mutual data dependences stay communication-feasible (the
+	// generated buses never join two ASICs).
+	clusterOf := map[hgraph.ID]int{}
+	clusterSeq := 0
 	var fill func(cb *hgraph.ClusterBuilder, depth int)
 	fill = func(cb *hgraph.ClusterBuilder, depth int) {
+		cid := clusterSeq
+		clusterSeq++
 		var prev hgraph.ID
 		for k := 0; k < p.Vertices; k++ {
 			vertexCount++
 			id := hgraph.ID(fmt.Sprintf("P%d", vertexCount))
+			clusterOf[id] = cid
 			if rng.Float64() < p.TimedFraction {
 				period := float64(200 + 50*rng.Intn(5))
 				cb.Vertex(id, spec.AttrPeriod, period)
@@ -184,7 +193,12 @@ func Synthetic(p SyntheticParams) *spec.Spec {
 		}
 		onAccel := false
 		if len(accels) > 0 && (accelOnly || rng.Float64() < 0.5) {
-			r := accels[rng.Intn(len(accels))]
+			var r hgraph.ID
+			if accelOnly {
+				r = accels[clusterOf[proc]%len(accels)]
+			} else {
+				r = accels[rng.Intn(len(accels))]
+			}
 			mappings = append(mappings, &spec.Mapping{
 				Process: proc, Resource: r, Latency: base / 3,
 			})

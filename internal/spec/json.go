@@ -127,31 +127,44 @@ func encodeCluster(c *hgraph.Cluster) jsonCluster {
 // UnmarshalJSON decodes and validates a specification from the wire
 // format.
 func (s *Spec) UnmarshalJSON(data []byte) error {
-	var js jsonSpec
-	if err := json.Unmarshal(data, &js); err != nil {
-		return fmt.Errorf("spec: decode: %w", err)
-	}
-	problem, err := hgraph.New(orDefault(js.Problem.Name, js.Name+".problem"), decodeCluster(js.Problem.Root))
+	raw, err := decodeSpec(data)
 	if err != nil {
-		return fmt.Errorf("spec %q: problem graph: %w", js.Name, err)
+		return err
 	}
-	arch, err := hgraph.New(orDefault(js.Arch.Name, js.Name+".arch"), decodeCluster(js.Arch.Root))
-	if err != nil {
-		return fmt.Errorf("spec %q: architecture graph: %w", js.Name, err)
+	if err := raw.Problem.Validate(); err != nil {
+		return fmt.Errorf("spec %q: problem graph: %w", raw.Name, err)
 	}
-	var mappings []*Mapping
-	for _, m := range js.Mappings {
-		mappings = append(mappings, &Mapping{
-			Process: hgraph.ID(m.Process), Resource: hgraph.ID(m.Resource),
-			Latency: m.Latency, Attrs: m.Attrs,
-		})
+	if err := raw.Arch.Validate(); err != nil {
+		return fmt.Errorf("spec %q: architecture graph: %w", raw.Name, err)
 	}
-	dec, err := New(js.Name, problem, arch, mappings)
+	dec, err := New(raw.Name, raw.Problem, raw.Arch, raw.Mappings)
 	if err != nil {
 		return err
 	}
 	*s = *dec
 	return nil
+}
+
+// decodeSpec parses the wire format into an unvalidated Spec. Only JSON
+// syntax errors fail; structural problems (duplicate IDs, dangling
+// edges, bad mappings) are preserved for later analysis.
+func decodeSpec(data []byte) (*Spec, error) {
+	var js jsonSpec
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, fmt.Errorf("spec: decode: %w", err)
+	}
+	s := &Spec{
+		Name:    js.Name,
+		Problem: &hgraph.Graph{Name: orDefault(js.Problem.Name, js.Name+".problem"), Root: decodeCluster(js.Problem.Root)},
+		Arch:    &hgraph.Graph{Name: orDefault(js.Arch.Name, js.Name+".arch"), Root: decodeCluster(js.Arch.Root)},
+	}
+	for _, m := range js.Mappings {
+		s.Mappings = append(s.Mappings, &Mapping{
+			Process: hgraph.ID(m.Process), Resource: hgraph.ID(m.Resource),
+			Latency: m.Latency, Attrs: m.Attrs,
+		})
+	}
+	return s, nil
 }
 
 func orDefault(v, def string) string {
@@ -230,4 +243,19 @@ func Read(r io.Reader) (*Spec, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// ReadLenient decodes a specification from JSON on r WITHOUT
+// validating it: only JSON syntax errors fail. The result may violate
+// every structural invariant (duplicate IDs, dangling edges, mappings
+// onto unknown elements) — it exists so static analysis (package lint,
+// cmd/speclint) can diagnose malformed specifications precisely instead
+// of stopping at the first validation error. Exploration and binding
+// must never consume a lenient spec directly.
+func ReadLenient(r io.Reader) (*Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSpec(data)
 }

@@ -12,14 +12,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
 	"repro/internal/activation"
 	"repro/internal/bind"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dot"
 	"repro/internal/hgraph"
@@ -89,7 +92,36 @@ func main() {
 	timing := flag.String("timing", "paper", "timing policy: paper|rta|ll|none")
 	weighted := flag.Bool("weighted", false, "use the weighted flexibility metric (footnote 2)")
 	lintMode := flag.String("lint", "on", "preflight static analysis: on | off (see docs/lint-codes.md)")
+	timeout := flag.Duration("timeout", 0, "stop after this duration and print the best-so-far result (0 = no limit)")
+	ckPath := flag.String("checkpoint", "", "periodically write an atomic resume snapshot (default run only)")
+	ckEvery := flag.Int("checkpoint-every", 64, "candidates between periodic checkpoints")
+	resume := flag.Bool("resume", false, "continue from the -checkpoint snapshot (default run only)")
 	flag.Parse()
+
+	if (*ckPath != "" || *resume) && (*table1 || *tradeoff || *compare || *verify || *family) {
+		fmt.Fprintln(os.Stderr, "casestudy: -checkpoint/-resume only apply to the default Pareto run")
+		os.Exit(2)
+	}
+	if *resume && *ckPath == "" {
+		fmt.Fprintln(os.Stderr, "casestudy: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *ckEvery <= 0 {
+		fmt.Fprintln(os.Stderr, "casestudy: -checkpoint-every must be > 0")
+		os.Exit(2)
+	}
+	if *timeout < 0 {
+		fmt.Fprintln(os.Stderr, "casestudy: -timeout must be >= 0")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	s := models.SetTopBox()
 	if *lintMode != "off" {
@@ -104,7 +136,7 @@ func main() {
 	case *table1:
 		printTable1()
 	case *tradeoff:
-		r := core.Explore(s, opts)
+		r := core.ExploreContext(ctx, s, opts)
 		var pts []dot.TradeoffPoint
 		for _, im := range r.Front {
 			pts = append(pts, dot.TradeoffPoint{
@@ -113,14 +145,56 @@ func main() {
 		}
 		fmt.Print(dot.TradeoffTSV(pts))
 	case *compare:
-		compareExplorers(s, opts)
+		compareExplorers(ctx, s, opts)
 	case *verify:
-		verifyFront(s, opts)
+		verifyFront(ctx, s, opts)
 	case *family:
-		r := core.Explore(s, opts)
+		r := core.ExploreContext(ctx, s, opts)
 		fmt.Print(core.AnalyzeFamily(s, r.Front))
 	default:
-		r := core.Explore(s, opts)
+		var writer *checkpoint.Writer
+		if *ckPath != "" {
+			writer = &checkpoint.Writer{Path: *ckPath}
+			opts.ProgressEvery = *ckEvery
+			opts.Progress = func(p core.Progress) {
+				snap, err := checkpoint.Capture(s, opts, p)
+				if err == nil {
+					err = writer.Save(snap)
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "casestudy:", err)
+				}
+			}
+		}
+		if *resume {
+			snap, err := checkpoint.Load(*ckPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "casestudy:", err)
+				os.Exit(1)
+			}
+			res, err := snap.Resume(s, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "casestudy:", err)
+				os.Exit(1)
+			}
+			opts.Resume = res
+			fmt.Fprintf(os.Stderr, "casestudy: resuming at candidate %d (%d front entries)\n",
+				snap.Cursor, len(snap.Front))
+		}
+		r := core.ExploreContext(ctx, s, opts)
+		if writer != nil {
+			snap, err := checkpoint.FromResult(s, opts, r)
+			if err == nil {
+				err = writer.Save(snap)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "casestudy:", err)
+			}
+		}
+		if r.Interrupted {
+			fmt.Fprintf(os.Stderr, "casestudy: interrupted (%s) at candidate %d; the table below covers the explored prefix\n",
+				r.Reason, r.Cursor)
+		}
 		fmt.Println("Set-Top box case study (Section 5) — Pareto-optimal set:")
 		fmt.Println()
 		fmt.Printf("%-26s | %-40s | %6s | %2s\n", "Resources", "Clusters", "c", "f")
@@ -162,16 +236,16 @@ func printTable1() {
 	}
 }
 
-func compareExplorers(s *spec.Spec, opts core.Options) {
+func compareExplorers(ctx context.Context, s *spec.Spec, opts core.Options) {
 	type run struct {
 		name string
 		res  *core.Result
 	}
 	runs := []run{
-		{"EXPLORE (paper)", core.Explore(s, opts)},
-		{"exhaustive", core.Exhaustive(s, opts)},
-		{"random (1000)", core.RandomSearch(s, opts, 1000, 1)},
-		{"evolutionary", core.Evolutionary(s, opts, core.EAConfig{Seed: 1})},
+		{"EXPLORE (paper)", core.ExploreContext(ctx, s, opts)},
+		{"exhaustive", core.ExhaustiveContext(ctx, s, opts)},
+		{"random (1000)", core.RandomSearchContext(ctx, s, opts, 1000, 1)},
+		{"evolutionary", core.EvolutionaryContext(ctx, s, opts, core.EAConfig{Seed: 1})},
 	}
 	fmt.Printf("%-16s | %6s | %9s | %8s | %9s\n", "explorer", "front", "attempted", "bindings", "nodes")
 	fmt.Println(strings.Repeat("-", 62))
@@ -187,9 +261,9 @@ func compareExplorers(s *spec.Spec, opts core.Options) {
 // rules, a constructed static schedule, and the hierarchical activation
 // rules over a round-robin schedule of all behaviours. It also reports
 // the latency head-room an optimizing re-binding recovers.
-func verifyFront(s *spec.Spec, opts core.Options) {
+func verifyFront(ctx context.Context, s *spec.Spec, opts core.Options) {
 	opts.AllBehaviours = true
-	r := core.Explore(s, opts)
+	r := core.ExploreContext(ctx, s, opts)
 	failures := 0
 	for _, im := range r.Front {
 		var phases []activation.Phase

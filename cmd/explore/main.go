@@ -8,15 +8,28 @@
 //	explore -model settop -stats         # built-in model with counters
 //	explore -spec system.json -algo ea   # evolutionary baseline
 //	explore -spec system.json -tsv       # trade-off curve as TSV
+//
+// Long scans are interruptible and crash-safe: -timeout bounds the wall
+// clock, Ctrl-C stops the scan cleanly (both print the best-so-far
+// front, which is exactly the Pareto set of the explored cost-ordered
+// prefix), and -checkpoint periodically persists an atomic snapshot
+// that -resume continues from (see docs/checkpoint-format.md):
+//
+//	explore -model settop -algo exhaustive -checkpoint ck.json -timeout 500ms
+//	explore -model settop -algo exhaustive -checkpoint ck.json -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/bind"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dot"
 	"repro/internal/hgraph"
@@ -24,6 +37,62 @@ import (
 	"repro/internal/models"
 	"repro/internal/spec"
 )
+
+// cliFlags carries the parsed command line for validation; explicit
+// indicates which flags the user actually set (flag.Visit), so
+// incompatible-combination checks do not misfire on defaults.
+type cliFlags struct {
+	algo            string
+	model           string
+	objectives      string
+	upgradeFrom     string
+	workers         int
+	iters           int
+	checkpointEvery int
+	timeout         time.Duration
+	checkpoint      string
+	resume          bool
+	explicit        map[string]bool
+}
+
+// problems returns every reason the flag combination is rejected; a
+// non-empty result exits with status 2 before any exploration starts.
+func (f *cliFlags) problems() []string {
+	var out []string
+	if f.workers < 0 {
+		out = append(out, "-workers must be >= 0 (0 selects GOMAXPROCS)")
+	}
+	if f.iters <= 0 {
+		out = append(out, "-iters must be > 0")
+	}
+	if f.explicit["iters"] && f.algo != "random" {
+		out = append(out, "-iters only applies to -algo random")
+	}
+	if f.explicit["seed"] && f.algo != "random" && f.algo != "ea" && f.model != "synthetic" {
+		out = append(out, "-seed only applies to -algo random, -algo ea, or -model synthetic")
+	}
+	if f.explicit["workers"] && f.workers != 1 && f.algo != "explore" {
+		out = append(out, "-workers only applies to -algo explore")
+	}
+	if f.checkpointEvery <= 0 {
+		out = append(out, "-checkpoint-every must be > 0")
+	}
+	if f.timeout < 0 {
+		out = append(out, "-timeout must be >= 0")
+	}
+	if f.resume && f.checkpoint == "" {
+		out = append(out, "-resume requires -checkpoint (the snapshot to continue from)")
+	}
+	if f.checkpoint != "" {
+		if f.algo != "explore" && f.algo != "exhaustive" {
+			out = append(out, "-checkpoint requires a deterministic cost-ordered scan (-algo explore or exhaustive)")
+		}
+		if f.objectives != "" || f.upgradeFrom != "" {
+			out = append(out, "-checkpoint is not supported with -objectives or -upgrade-from")
+		}
+	}
+	return out
+}
 
 func main() {
 	specPath := flag.String("spec", "", "path to a specification graph JSON file (- for stdin)")
@@ -41,7 +110,25 @@ func main() {
 	upgradeFrom := flag.String("upgrade-from", "", "comma-separated deployed units; explore cost-ordered upgrades (supersets only)")
 	workers := flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS); front is identical to sequential")
 	lintMode := flag.String("lint", "on", "preflight static analysis: on | off (see docs/lint-codes.md)")
+	timeout := flag.Duration("timeout", 0, "stop the scan after this duration and print the best-so-far front (0 = no limit)")
+	ckPath := flag.String("checkpoint", "", "periodically write an atomic resume snapshot to this file")
+	ckEvery := flag.Int("checkpoint-every", 64, "candidates between periodic checkpoints")
+	resume := flag.Bool("resume", false, "continue the scan from the -checkpoint snapshot")
 	flag.Parse()
+
+	fl := &cliFlags{
+		algo: *algo, model: *model, objectives: *objectives, upgradeFrom: *upgradeFrom,
+		workers: *workers, iters: *iters, checkpointEvery: *ckEvery,
+		timeout: *timeout, checkpoint: *ckPath, resume: *resume,
+		explicit: map[string]bool{},
+	}
+	flag.Visit(func(f *flag.Flag) { fl.explicit[f.Name] = true })
+	if probs := fl.problems(); len(probs) > 0 {
+		for _, p := range probs {
+			fmt.Fprintln(os.Stderr, "explore:", p)
+		}
+		os.Exit(2)
+	}
 
 	s, err := loadSpec(*specPath, *model, *seed)
 	if err != nil {
@@ -70,8 +157,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A SIGINT cancels the scan instead of killing the process: the
+	// explorers return their prefix-exact partial front, a final
+	// checkpoint is flushed, and the front is printed before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *objectives != "" {
-		runMulti(s, opts, *objectives)
+		runMulti(ctx, s, opts, *objectives)
 		return
 	}
 	if *upgradeFrom != "" {
@@ -82,29 +180,88 @@ func main() {
 				base[hgraph.ID(id)] = true
 			}
 		}
-		r := core.Upgrade(s, base, opts)
+		r := core.UpgradeContext(ctx, s, base, opts)
 		fmt.Printf("upgrades of %v: %d Pareto-optimal extensions\n\n", base, len(r.Front))
 		fmt.Print(r.FrontTable(s.Problem.Root.ID))
 		return
+	}
+
+	// The exhaustive overrides must be in opts before the checkpoint
+	// wiring so the options digest describes the scan actually run and
+	// a snapshot taken under -algo exhaustive resumes consistently.
+	if *algo == "exhaustive" {
+		opts.DisableFlexBound = true
+		opts.IncludeUselessComm = true
+		opts.StopAtMaxFlex = false
+	}
+
+	var writer *checkpoint.Writer
+	if *ckPath != "" {
+		writer = &checkpoint.Writer{Path: *ckPath}
+		opts.ProgressEvery = *ckEvery
+		opts.Progress = func(p core.Progress) {
+			snap, err := checkpoint.Capture(s, opts, p)
+			if err == nil {
+				err = writer.Save(snap)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "explore:", err)
+			}
+		}
+	}
+	if *resume {
+		snap, err := checkpoint.Load(*ckPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explore:", err)
+			os.Exit(1)
+		}
+		res, err := snap.Resume(s, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explore:", err)
+			os.Exit(1)
+		}
+		opts.Resume = res
+		fmt.Fprintf(os.Stderr, "explore: resuming %q at candidate %d (%d front entries)\n",
+			snap.SpecName, snap.Cursor, len(snap.Front))
 	}
 
 	var r *core.Result
 	switch *algo {
 	case "explore":
 		if *workers != 1 {
-			r = core.ExploreParallel(s, opts, *workers, 0)
+			r = core.ExploreParallelContext(ctx, s, opts, *workers, 0)
 		} else {
-			r = core.Explore(s, opts)
+			r = core.ExploreContext(ctx, s, opts)
 		}
 	case "exhaustive":
-		r = core.Exhaustive(s, opts)
+		r = core.ExhaustiveContext(ctx, s, opts)
 	case "random":
-		r = core.RandomSearch(s, opts, *iters, *seed)
+		r = core.RandomSearchContext(ctx, s, opts, *iters, *seed)
 	case "ea":
-		r = core.Evolutionary(s, opts, core.EAConfig{Seed: *seed})
+		r = core.EvolutionaryContext(ctx, s, opts, core.EAConfig{Seed: *seed})
 	default:
 		fmt.Fprintf(os.Stderr, "explore: unknown algorithm %q\n", *algo)
 		os.Exit(2)
+	}
+
+	if writer != nil {
+		// Final flush so the snapshot covers the whole explored prefix,
+		// interrupted or not.
+		snap, err := checkpoint.FromResult(s, opts, r)
+		if err == nil {
+			err = writer.Save(snap)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explore:", err)
+		}
+	}
+	if r.Interrupted {
+		fmt.Fprintf(os.Stderr, "explore: interrupted (%s) at candidate %d; the front below is the Pareto set of the explored prefix\n",
+			r.Reason, r.Cursor)
+		if writer != nil {
+			fmt.Fprintf(os.Stderr, "explore: continue with: explore %s -resume\n",
+				strings.Join(resumeArgs(), " "))
+		}
 	}
 
 	if *asJSON {
@@ -139,7 +296,24 @@ func main() {
 		fmt.Printf("implementations      : %d attempted, %d feasible\n", st.Attempted, st.Feasible)
 		fmt.Printf("binding solver       : %d runs, %d nodes, %d behaviours tested\n",
 			st.BindingRuns, st.BindingNodes, st.ECSTested)
+		fmt.Printf("termination          : %s (cursor %d)\n", r.Reason, r.Cursor)
+		if len(st.Diags) > 0 {
+			fmt.Printf("skipped candidates   : %d (injected faults or recovered panics)\n", len(st.Diags))
+		}
 	}
+}
+
+// resumeArgs reconstructs the flags (minus -resume/-timeout) the user
+// would pass to continue an interrupted scan.
+func resumeArgs() []string {
+	var out []string
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "resume" || f.Name == "timeout" {
+			return
+		}
+		out = append(out, fmt.Sprintf("-%s=%s", f.Name, f.Value))
+	})
+	return out
 }
 
 func loadSpec(path, model string, seed int64) (*spec.Spec, error) {
@@ -173,7 +347,7 @@ func loadSpec(path, model string, seed int64) (*spec.Spec, error) {
 }
 
 // runMulti runs the generalized multi-objective exploration.
-func runMulti(s *spec.Spec, opts core.Options, names string) {
+func runMulti(ctx context.Context, s *spec.Spec, opts core.Options, names string) {
 	objs := []core.Objective{core.CostObjective(), core.InvFlexibilityObjective()}
 	for _, n := range strings.Split(names, ",") {
 		n = strings.TrimSpace(n)
@@ -186,7 +360,10 @@ func runMulti(s *spec.Spec, opts core.Options, names string) {
 			objs = append(objs, core.ResourceSumObjective(n))
 		}
 	}
-	r := core.ExploreMulti(s, opts, objs)
+	r := core.ExploreMultiContext(ctx, s, opts, objs)
+	if r.Interrupted {
+		fmt.Fprintf(os.Stderr, "explore: interrupted (%s) at candidate %d; partial front follows\n", r.Reason, r.Cursor)
+	}
 	for _, name := range r.Names {
 		fmt.Printf("%-14s ", name)
 	}

@@ -1,10 +1,92 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 )
+
+// baseFlags returns a valid default flag set; tests mutate one aspect
+// and assert on problems().
+func baseFlags() *cliFlags {
+	return &cliFlags{
+		algo: "explore", workers: 1, iters: 1000, checkpointEvery: 64,
+		explicit: map[string]bool{},
+	}
+}
+
+func TestFlagValidationAccepts(t *testing.T) {
+	cases := []func(*cliFlags){
+		func(f *cliFlags) {},
+		func(f *cliFlags) { f.workers = 0; f.explicit["workers"] = true },
+		func(f *cliFlags) { f.workers = 8; f.explicit["workers"] = true },
+		func(f *cliFlags) {
+			f.algo = "random"
+			f.iters = 5
+			f.explicit["iters"] = true
+			f.explicit["seed"] = true
+		},
+		func(f *cliFlags) { f.algo = "ea"; f.explicit["seed"] = true },
+		func(f *cliFlags) { f.model = "synthetic"; f.explicit["seed"] = true },
+		func(f *cliFlags) { f.checkpoint = "ck.json"; f.checkpointEvery = 4 },
+		func(f *cliFlags) { f.algo = "exhaustive"; f.checkpoint = "ck.json"; f.resume = true },
+		func(f *cliFlags) { f.timeout = 1 },
+	}
+	for i, mutate := range cases {
+		f := baseFlags()
+		mutate(f)
+		if probs := f.problems(); len(probs) != 0 {
+			t.Errorf("case %d: valid flags rejected: %v", i, probs)
+		}
+	}
+}
+
+func TestFlagValidationRejects(t *testing.T) {
+	cases := []struct {
+		mutate func(*cliFlags)
+		want   string
+	}{
+		{func(f *cliFlags) { f.workers = -1 }, "-workers"},
+		{func(f *cliFlags) { f.iters = 0 }, "-iters"},
+		{func(f *cliFlags) { f.iters = -3 }, "-iters"},
+		{func(f *cliFlags) { f.explicit["iters"] = true }, "-iters only applies"},
+		{func(f *cliFlags) { f.explicit["seed"] = true }, "-seed only applies"},
+		{func(f *cliFlags) { f.algo = "ea"; f.workers = 4; f.explicit["workers"] = true }, "-workers only applies"},
+		{func(f *cliFlags) { f.checkpointEvery = 0 }, "-checkpoint-every"},
+		{func(f *cliFlags) { f.timeout = -1 }, "-timeout"},
+		{func(f *cliFlags) { f.resume = true }, "-resume requires"},
+		{func(f *cliFlags) { f.algo = "random"; f.checkpoint = "ck.json" }, "cost-ordered"},
+		{func(f *cliFlags) { f.algo = "ea"; f.checkpoint = "ck.json" }, "cost-ordered"},
+		{func(f *cliFlags) { f.checkpoint = "ck.json"; f.objectives = "latency" }, "not supported"},
+		{func(f *cliFlags) { f.checkpoint = "ck.json"; f.upgradeFrom = "CPU1" }, "not supported"},
+	}
+	for i, tc := range cases {
+		f := baseFlags()
+		tc.mutate(f)
+		probs := f.problems()
+		found := false
+		for _, p := range probs {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("case %d: want a problem matching %q, got %v", i, tc.want, probs)
+		}
+	}
+}
+
+// Every rejection must surface all problems at once, not just the first.
+func TestFlagValidationReportsAll(t *testing.T) {
+	f := baseFlags()
+	f.workers = -2
+	f.iters = 0
+	f.timeout = -1
+	if probs := f.problems(); len(probs) < 3 {
+		t.Errorf("want >= 3 problems, got %v", probs)
+	}
+}
 
 func TestLoadSpecModels(t *testing.T) {
 	for _, m := range []string{"settop", "decoder", "synthetic"} {

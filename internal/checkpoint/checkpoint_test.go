@@ -1,0 +1,342 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/models"
+)
+
+func frontsEqual(a, b []*core.Implementation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Cost != b[i].Cost || a[i].Flexibility != b[i].Flexibility ||
+			!a[i].Allocation.Equal(b[i].Allocation) {
+			return false
+		}
+	}
+	return true
+}
+
+// interruptedResult runs Explore with an injected cancellation at
+// candidate k and returns the partial result.
+func interruptedResult(t *testing.T, k int) *core.Result {
+	t.Helper()
+	s := models.SetTopBox()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := core.Options{Fault: faultinject.New().CancelAt(core.SiteEstimate, k).Bind(cancel)}
+	r := core.ExploreContext(ctx, s, opts)
+	if !r.Interrupted || r.Cursor != k {
+		t.Fatalf("interrupt failed: interrupted=%v cursor=%d", r.Interrupted, r.Cursor)
+	}
+	return r
+}
+
+func TestSaveLoadResumeRoundtrip(t *testing.T) {
+	s := models.SetTopBox()
+	full := core.Explore(s, core.Options{})
+	part := interruptedResult(t, full.Stats.PossibleAllocations/2)
+
+	snap, err := FromResult(s, core.Options{}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := (&Writer{Path: path}).Save(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, snap) {
+		t.Fatalf("snapshot changed across save/load:\n%+v\n%+v", loaded, snap)
+	}
+	res, err := loaded.Resume(s, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cursor != part.Cursor || !frontsEqual(res.Front, part.Front) {
+		t.Fatalf("resume state diverges from the interrupted result")
+	}
+
+	resumed := core.Explore(s, core.Options{Resume: res})
+	if !frontsEqual(resumed.Front, full.Front) {
+		t.Errorf("resumed-from-disk front differs from uninterrupted run")
+	}
+	if !reflect.DeepEqual(resumed.Stats, full.Stats) {
+		t.Errorf("resumed stats %+v\n  differ from uninterrupted %+v", resumed.Stats, full.Stats)
+	}
+}
+
+func TestResumeRefusesSpecMismatch(t *testing.T) {
+	settop := models.SetTopBox()
+	part := interruptedResult(t, 50)
+	snap, err := FromResult(settop, core.Options{}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Resume(models.Decoder(), core.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "spec digest mismatch") {
+		t.Fatalf("want spec digest refusal, got %v", err)
+	}
+}
+
+func TestResumeRefusesOptionsMismatch(t *testing.T) {
+	s := models.SetTopBox()
+	part := interruptedResult(t, 50)
+	snap, err := FromResult(s, core.Options{}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Resume(s, core.Options{Weighted: true}); err == nil ||
+		!strings.Contains(err.Error(), "options digest mismatch") {
+		t.Fatalf("want options digest refusal, got %v", err)
+	}
+}
+
+func TestOptionsDigestIgnoresRuntimeHooks(t *testing.T) {
+	base := OptionsDigest(core.Options{})
+	hooked := OptionsDigest(core.Options{
+		Fault:         faultinject.New(),
+		Progress:      func(core.Progress) {},
+		ProgressEvery: 3,
+		Resume:        &core.Resume{Cursor: 9},
+	})
+	if base != hooked {
+		t.Fatal("runtime hooks leaked into the options digest")
+	}
+	if base == OptionsDigest(core.Options{MaxScan: 10}) {
+		t.Fatal("scan-shaping option not in the digest")
+	}
+}
+
+func TestLoadRefusesVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("want version refusal, got %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte(`{"version": 1,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("corrupt snapshot loaded")
+	}
+}
+
+func TestResumeRefusesTamperedFront(t *testing.T) {
+	s := models.SetTopBox()
+	part := interruptedResult(t, 200)
+	if len(part.Front) == 0 {
+		t.Fatal("need a non-empty partial front")
+	}
+	snap, err := FromResult(s, core.Options{}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Front[0].Flexibility += 1 // bit-rot the recorded objective
+	if _, err := snap.Resume(s, core.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "refusing to resume") {
+		t.Fatalf("want reconstruction refusal, got %v", err)
+	}
+}
+
+// TestSaveAtomicUnderCrash: a crash (injected panic) between the temp
+// write and the rename must leave the previously saved snapshot intact
+// and loadable.
+func TestSaveAtomicUnderCrash(t *testing.T) {
+	s := models.SetTopBox()
+	first, err := FromResult(s, core.Options{}, interruptedResult(t, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := FromResult(s, core.Options{}, interruptedResult(t, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ck.json")
+	w := &Writer{Path: path, Fault: faultinject.New().PanicAt(SiteRename, 1, "crash before rename")}
+	if err := w.Save(first); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second save did not crash")
+			}
+		}()
+		w.Save(second)
+	}()
+
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cursor != first.Cursor {
+		t.Fatalf("crash corrupted the snapshot: cursor %d, want %d", loaded.Cursor, first.Cursor)
+	}
+}
+
+func TestSaveWriteErrorInjected(t *testing.T) {
+	w := &Writer{
+		Path:  filepath.Join(t.TempDir(), "ck.json"),
+		Fault: faultinject.New().ErrorAt(SiteWrite, 0, nil),
+	}
+	if err := w.Save(&Snapshot{Version: Version}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want injected write error, got %v", err)
+	}
+	if _, err := os.Stat(w.Path); !os.IsNotExist(err) {
+		t.Fatal("failed save left a file behind")
+	}
+}
+
+func TestSaveRenameErrorCleansTemp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	w := &Writer{Path: path, Fault: faultinject.New().ErrorAt(SiteRename, 0, nil)}
+	if err := w.Save(&Snapshot{Version: Version}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want injected rename error, got %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file not cleaned up after rename failure")
+	}
+}
+
+// TestCrashResumeMatchesUninterrupted is the acceptance scenario: a run
+// checkpointing periodically via the Progress hook is killed by an
+// injected panic mid-scan; the last snapshot on disk is loaded, resumed,
+// and the final front and counters match the never-interrupted run.
+func TestCrashResumeMatchesUninterrupted(t *testing.T) {
+	s := models.SetTopBox()
+	full := core.Explore(s, core.Options{})
+
+	path := filepath.Join(t.TempDir(), "ck.json")
+	w := &Writer{Path: path}
+	opts := core.Options{
+		ProgressEvery: 50,
+		Fault:         faultinject.New().PanicAt(core.SiteEstimate, 500, "simulated crash"),
+	}
+	opts.Progress = func(p core.Progress) {
+		snap, err := Capture(s, opts, p)
+		if err != nil {
+			t.Errorf("capture: %v", err)
+			return
+		}
+		if err := w.Save(snap); err != nil {
+			t.Errorf("save: %v", err)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("the injected crash did not fire")
+			}
+		}()
+		core.Explore(s, opts)
+	}()
+
+	snap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cursor <= 0 || snap.Cursor > 500 {
+		t.Fatalf("snapshot cursor %d outside the pre-crash window", snap.Cursor)
+	}
+	res, err := snap.Resume(s, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := core.Explore(s, core.Options{Resume: res})
+	if !frontsEqual(resumed.Front, full.Front) {
+		t.Errorf("crash+resume front differs from uninterrupted run")
+	}
+	if resumed.Stats.PossibleAllocations != full.Stats.PossibleAllocations ||
+		resumed.Stats.Feasible != full.Stats.Feasible {
+		t.Errorf("crash+resume counters diverge: %+v vs %+v", resumed.Stats, full.Stats)
+	}
+}
+
+// TestDeadlineResumeMatchesUninterrupted covers the deadline
+// interruption mode: an exhaustive-options scan (about a second on this
+// model) is cut off by a short context deadline, snapshotted, and
+// resumed to the uninterrupted front.
+func TestDeadlineResumeMatchesUninterrupted(t *testing.T) {
+	s := models.SetTopBox()
+	opts := core.Options{DisableFlexBound: true, IncludeUselessComm: true}
+	full := core.ExploreContext(context.Background(), s, opts)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	part := core.ExploreContext(ctx, s, opts)
+	if !part.Interrupted {
+		t.Skip("scan completed before the deadline on this machine")
+	}
+	if part.Reason != core.ReasonDeadline {
+		t.Fatalf("reason=%q, want deadline", part.Reason)
+	}
+
+	snap, err := FromResult(s, opts, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := (&Writer{Path: path}).Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Resume(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Resume = res
+	resumed := core.ExploreContext(context.Background(), s, opts)
+	if !frontsEqual(resumed.Front, full.Front) {
+		t.Errorf("deadline+resume front differs from uninterrupted run")
+	}
+}
+
+func TestSpecDigestStableAndDiscriminating(t *testing.T) {
+	a, err := SpecDigest(models.SetTopBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpecDigest(models.SetTopBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("digest of identical specs differs — encoding is not canonical")
+	}
+	c, err := SpecDigest(models.Decoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different specs collide")
+	}
+	if !strings.HasPrefix(a, "sha256:") {
+		t.Fatalf("digest %q lacks scheme prefix", a)
+	}
+}

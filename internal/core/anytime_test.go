@@ -1,0 +1,379 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/faultinject"
+	"repro/internal/models"
+	"repro/internal/pareto"
+	"repro/internal/spec"
+)
+
+// prefixFront implements the first k possible candidates of the
+// cost-ordered enumeration unconditionally and folds them into a Pareto
+// front — the ground truth the anytime invariant is checked against:
+// an exploration interrupted with Cursor == k must return exactly this
+// front.
+func prefixFront(s *spec.Spec, opts Options, k int) []*Implementation {
+	front := &pareto.Front{}
+	idx := 0
+	alloc.Enumerate(s, alloc.Options{
+		IncludeUselessComm: opts.IncludeUselessComm,
+		MaxScan:            opts.MaxScan,
+	}, func(c alloc.Candidate) bool {
+		if idx >= k {
+			return false
+		}
+		idx++
+		if im := Implement(s, c.Allocation, opts, nil); im != nil {
+			front.Add(&pareto.Entry{
+				Objectives: pareto.CostFlexObjectives(im.Cost, im.Flexibility),
+				Value:      im,
+			})
+		}
+		return true
+	})
+	return frontToImplementations(front)
+}
+
+func frontsEqual(a, b []*Implementation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Cost != b[i].Cost || a[i].Flexibility != b[i].Flexibility ||
+			!a[i].Allocation.Equal(b[i].Allocation) {
+			return false
+		}
+	}
+	return true
+}
+
+// cancelAt runs ExploreContext with a fault-injected cancellation at
+// candidate index k — the deterministic stand-in for SIGINT/deadline.
+func cancelAt(s *spec.Spec, opts Options, k int) *Result {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts.Fault = faultinject.New().CancelAt(SiteEstimate, k).Bind(cancel)
+	return ExploreContext(ctx, s, opts)
+}
+
+func TestExploreCancelledImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := ExploreContext(ctx, models.Decoder(), Options{})
+	if !r.Interrupted || r.Reason != ReasonCancelled {
+		t.Fatalf("interrupted=%v reason=%q, want cancelled", r.Interrupted, r.Reason)
+	}
+	if r.Cursor != 0 || len(r.Front) != 0 {
+		t.Fatalf("cursor=%d front=%d, want empty prefix", r.Cursor, len(r.Front))
+	}
+}
+
+func TestExploreDeadlineReason(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	r := ExploreContext(ctx, models.Decoder(), Options{})
+	if !r.Interrupted || r.Reason != ReasonDeadline {
+		t.Fatalf("interrupted=%v reason=%q, want deadline", r.Interrupted, r.Reason)
+	}
+}
+
+// TestAnytimePrefixInvariant: a scan cancelled at candidate k returns
+// Cursor == k and exactly the Pareto front of the first k candidates —
+// the paper's cost-ordering argument, now load-bearing for anytime use.
+func TestAnytimePrefixInvariant(t *testing.T) {
+	s := models.SetTopBox()
+	for _, k := range []int{1, 7, 50, 200} {
+		r := cancelAt(s, Options{}, k)
+		if !r.Interrupted || r.Reason != ReasonCancelled {
+			t.Fatalf("k=%d: interrupted=%v reason=%q", k, r.Interrupted, r.Reason)
+		}
+		if r.Cursor != k {
+			t.Fatalf("k=%d: cursor=%d", k, r.Cursor)
+		}
+		want := prefixFront(s, Options{}, k)
+		if !frontsEqual(r.Front, want) {
+			t.Errorf("k=%d: partial front (%d entries) is not the Pareto set of the prefix (%d entries)",
+				k, len(r.Front), len(want))
+		}
+	}
+}
+
+// TestProgressPrefixInvariant: every periodic Progress report carries a
+// front that is exactly the Pareto set of the candidates before its
+// cursor — what makes checkpoints taken from Progress trustworthy.
+func TestProgressPrefixInvariant(t *testing.T) {
+	s := models.Decoder()
+	var reports []Progress
+	Explore(s, Options{ProgressEvery: 5, Progress: func(p Progress) {
+		reports = append(reports, p)
+	}})
+	if len(reports) == 0 {
+		t.Fatal("no progress reports")
+	}
+	for _, p := range reports {
+		want := prefixFront(s, Options{}, p.Cursor)
+		if !frontsEqual(p.Front, want) {
+			t.Errorf("cursor=%d: progress front deviates from prefix Pareto set", p.Cursor)
+		}
+	}
+}
+
+// TestResumeEquivalence (acceptance): on each model, an exploration
+// interrupted mid-scan and resumed from its own partial result matches
+// the uninterrupted run bit-for-bit — fronts and effort counters — for
+// both the sequential and the parallel explorer.
+func TestResumeEquivalence(t *testing.T) {
+	synth := models.Synthetic(models.SyntheticParams{
+		Seed: 1, Apps: 2, Depth: 1, Branch: 2, Vertices: 2,
+		Processors: 2, ASICs: 1, Designs: 1, Buses: 3,
+		TimedFraction: 0.3, AccelOnlyFraction: 0.3,
+	})
+	for _, tc := range []struct {
+		name string
+		s    *spec.Spec
+	}{
+		{"settop", models.SetTopBox()},
+		{"decoder", models.Decoder()},
+		{"synthetic", synth},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			full := Explore(tc.s, Options{})
+			k := full.Stats.PossibleAllocations / 2
+			if k == 0 {
+				k = 1
+			}
+			part := cancelAt(tc.s, Options{}, k)
+			if !part.Interrupted || part.Cursor != k {
+				t.Fatalf("interrupt failed: interrupted=%v cursor=%d", part.Interrupted, part.Cursor)
+			}
+			res := &Resume{Cursor: part.Cursor, Front: part.Front, Stats: part.Stats}
+
+			resumed := Explore(tc.s, Options{Resume: res})
+			if !frontsEqual(resumed.Front, full.Front) {
+				t.Errorf("resumed sequential front differs from uninterrupted run")
+			}
+			if resumed.Interrupted || resumed.Reason != ReasonCompleted {
+				t.Errorf("resumed run: interrupted=%v reason=%q", resumed.Interrupted, resumed.Reason)
+			}
+			if !reflect.DeepEqual(resumed.Stats, full.Stats) {
+				t.Errorf("resumed stats %+v\n  differ from uninterrupted %+v", resumed.Stats, full.Stats)
+			}
+
+			par := ExploreParallel(tc.s, Options{}, 4, 8)
+			if !frontsEqual(par.Front, full.Front) {
+				t.Errorf("parallel front differs from sequential")
+			}
+			parResumed := ExploreParallel(tc.s, Options{Resume: res}, 4, 8)
+			if !frontsEqual(parResumed.Front, full.Front) {
+				t.Errorf("parallel resumed front differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestParallelCancelPrefixExact: cancelling the parallel explorer stops
+// the fold at the first unevaluated candidate, so its partial front is
+// the Pareto set of the prefix before Cursor.
+func TestParallelCancelPrefixExact(t *testing.T) {
+	s := models.SetTopBox()
+	const k = 100
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{Fault: faultinject.New().CancelAt(SiteEstimate, k).Bind(cancel)}
+	r := ExploreParallelContext(ctx, s, opts, 4, 16)
+	if !r.Interrupted || r.Reason != ReasonCancelled {
+		t.Fatalf("interrupted=%v reason=%q", r.Interrupted, r.Reason)
+	}
+	// Workers race the cancellation, so the exact stop point may land
+	// anywhere in the wave containing k — but wherever it lands, the
+	// front must be the prefix Pareto set at that cursor.
+	if r.Cursor <= 0 || r.Cursor > k+16 {
+		t.Fatalf("cursor=%d out of the expected window", r.Cursor)
+	}
+	if want := prefixFront(s, Options{}, r.Cursor); !frontsEqual(r.Front, want) {
+		t.Errorf("cursor=%d: parallel partial front is not the prefix Pareto set", r.Cursor)
+	}
+	res := &Resume{Cursor: r.Cursor, Front: r.Front, Stats: r.Stats}
+	if resumed := ExploreParallel(s, Options{Resume: res}, 4, 16); !frontsEqual(resumed.Front, Explore(s, Options{}).Front) {
+		t.Errorf("parallel interrupted+resumed front differs from uninterrupted run")
+	}
+}
+
+// TestParallelPanicIsolation: a candidate whose evaluation panics is
+// recovered in its worker, recorded as a structured diagnostic, and
+// skipped; the rest of the scan — and the front — are unaffected when
+// the poisoned candidate is not a front member.
+func TestParallelPanicIsolation(t *testing.T) {
+	s := models.SetTopBox()
+	full := Explore(s, Options{})
+	onFront := func(a spec.Allocation) bool {
+		for _, im := range full.Front {
+			if im.Allocation.Equal(a) {
+				return true
+			}
+		}
+		return false
+	}
+	// Pick a candidate that is not a Pareto-front member, so skipping it
+	// must leave the front unchanged.
+	victim := -1
+	idx := 0
+	alloc.Enumerate(s, alloc.Options{}, func(c alloc.Candidate) bool {
+		if !onFront(c.Allocation) {
+			victim = idx
+			return false
+		}
+		idx++
+		return true
+	})
+	if victim < 0 {
+		t.Fatal("no non-front candidate found")
+	}
+
+	plan := faultinject.New().PanicAt(SiteEstimate, victim, "poisoned candidate")
+	r := ExploreParallel(s, Options{Fault: plan}, 4, 16)
+	if r.Interrupted || r.Reason != ReasonCompleted {
+		t.Fatalf("run did not complete: interrupted=%v reason=%q", r.Interrupted, r.Reason)
+	}
+	if !frontsEqual(r.Front, full.Front) {
+		t.Errorf("front changed after skipping a non-front candidate")
+	}
+	if len(r.Stats.Diags) != 1 {
+		t.Fatalf("diags=%d, want 1", len(r.Stats.Diags))
+	}
+	d := r.Stats.Diags[0]
+	if d.Kind != DiagPanic || d.Site != SiteEstimate || d.Cursor != victim {
+		t.Errorf("diag %+v, want panic at %s[%d]", d, SiteEstimate, victim)
+	}
+	if !strings.Contains(d.Message, "poisoned candidate") || d.Stack == "" {
+		t.Errorf("diag lacks message/stack: %+v", d)
+	}
+}
+
+// TestParallelPanicEveryCandidate: even when every single evaluation
+// panics the scan terminates normally with one diagnostic per candidate
+// and an empty front.
+func TestParallelPanicEveryCandidate(t *testing.T) {
+	s := models.Decoder()
+	plan := faultinject.New().PanicAt(SiteEstimate, -1, "all down")
+	r := ExploreParallel(s, Options{Fault: plan}, 4, 8)
+	if r.Interrupted {
+		t.Fatal("interrupted")
+	}
+	if len(r.Front) != 0 {
+		t.Fatalf("front has %d entries, want 0", len(r.Front))
+	}
+	if len(r.Stats.Diags) != r.Stats.PossibleAllocations {
+		t.Errorf("diags=%d, possible=%d — every candidate should carry one",
+			len(r.Stats.Diags), r.Stats.PossibleAllocations)
+	}
+}
+
+// TestInjectedErrorSkipsCandidate: an injected (non-panic) estimation
+// error is recorded and the candidate skipped, sequentially and in
+// parallel.
+func TestInjectedErrorSkipsCandidate(t *testing.T) {
+	s := models.Decoder()
+	for _, parallel := range []bool{false, true} {
+		plan := faultinject.New().ErrorAt(SiteEstimate, 0, nil)
+		opts := Options{Fault: plan}
+		var r *Result
+		if parallel {
+			r = ExploreParallel(s, opts, 4, 8)
+		} else {
+			r = Explore(s, opts)
+		}
+		if len(r.Stats.Diags) != 1 || r.Stats.Diags[0].Kind != DiagError {
+			t.Fatalf("parallel=%v: diags %+v, want one error diag", parallel, r.Stats.Diags)
+		}
+		if len(plan.Firings()) != 1 {
+			t.Fatalf("parallel=%v: firings %v", parallel, plan.Firings())
+		}
+	}
+}
+
+// TestStopAtMaxFlexFinalFlush: the termination reason of a StopAtMaxFlex
+// hit must survive the parallel explorer's *final* wave flush (whose
+// boolean result is discarded), including with a batch so large the
+// entire scan is that one final flush.
+func TestStopAtMaxFlexFinalFlush(t *testing.T) {
+	s := models.SetTopBox()
+	seq := Explore(s, Options{StopAtMaxFlex: true})
+	if seq.Reason != ReasonMaxFlex {
+		t.Fatalf("sequential reason=%q, want max-flex", seq.Reason)
+	}
+	par := ExploreParallel(s, Options{StopAtMaxFlex: true}, 4, 100000)
+	if par.Reason != ReasonMaxFlex {
+		t.Errorf("parallel reason=%q, want max-flex (final flush dropped the stop signal)", par.Reason)
+	}
+	if !frontsEqual(seq.Front, par.Front) {
+		t.Errorf("fronts differ under StopAtMaxFlex")
+	}
+}
+
+func TestRandomSearchCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := RandomSearchContext(ctx, models.Decoder(), Options{}, 100, 1)
+	if !r.Interrupted || r.Reason != ReasonCancelled || r.Cursor != 0 {
+		t.Fatalf("interrupted=%v reason=%q cursor=%d", r.Interrupted, r.Reason, r.Cursor)
+	}
+}
+
+func TestEvolutionaryCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := EvolutionaryContext(ctx, models.Decoder(), Options{}, EAConfig{Seed: 1})
+	if !r.Interrupted || r.Reason != ReasonCancelled {
+		t.Fatalf("interrupted=%v reason=%q", r.Interrupted, r.Reason)
+	}
+}
+
+func TestExploreMultiCancel(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	r := ExploreMultiContext(ctx, models.Decoder(), Options{}, nil)
+	if !r.Interrupted || r.Reason != ReasonDeadline || len(r.Front) != 0 {
+		t.Fatalf("interrupted=%v reason=%q front=%d", r.Interrupted, r.Reason, len(r.Front))
+	}
+}
+
+func TestUpgradeCancel(t *testing.T) {
+	s := models.SetTopBox()
+	full := Explore(s, Options{})
+	if len(full.Front) == 0 {
+		t.Fatal("no base")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := UpgradeContext(ctx, s, full.Front[0].Allocation, Options{})
+	if !r.Interrupted || r.Reason != ReasonCancelled {
+		t.Fatalf("interrupted=%v reason=%q", r.Interrupted, r.Reason)
+	}
+}
+
+// TestExhaustiveDeadlineAnytime: the exhaustive baseline inherits the
+// anytime semantics; its interrupted front must also be prefix-exact
+// (with the exhaustive option overrides applied to the ground truth).
+func TestExhaustiveDeadlineAnytime(t *testing.T) {
+	s := models.SetTopBox()
+	const k = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{Fault: faultinject.New().CancelAt(SiteEstimate, k).Bind(cancel)}
+	r := ExhaustiveContext(ctx, s, opts)
+	if !r.Interrupted || r.Cursor != k {
+		t.Fatalf("interrupted=%v cursor=%d", r.Interrupted, r.Cursor)
+	}
+	exOpts := Options{DisableFlexBound: true, IncludeUselessComm: true}
+	if want := prefixFront(s, exOpts, k); !frontsEqual(r.Front, want) {
+		t.Errorf("exhaustive partial front is not the prefix Pareto set")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/alloc"
@@ -13,25 +14,45 @@ import (
 // It is the reference the paper's pruning claims are measured against:
 // EXPLORE must return the same front with far fewer solver invocations.
 func Exhaustive(s *spec.Spec, opts Options) *Result {
+	return ExhaustiveContext(context.Background(), s, opts)
+}
+
+// ExhaustiveContext is Exhaustive under a context; the anytime
+// semantics (clean interruption, prefix-exact partial front, resume)
+// are inherited from ExploreContext.
+func ExhaustiveContext(ctx context.Context, s *spec.Spec, opts Options) *Result {
 	opts.DisableFlexBound = true
 	opts.IncludeUselessComm = true
 	opts.StopAtMaxFlex = false
-	return Explore(s, opts)
+	return ExploreContext(ctx, s, opts)
 }
 
 // RandomSearch samples iters random allocations (uniform over unit
 // subsets) and implements each, keeping the Pareto archive. It is the
 // naive baseline for explorer comparisons.
 func RandomSearch(s *spec.Spec, opts Options, iters int, seed int64) *Result {
+	return RandomSearchContext(context.Background(), s, opts, iters, seed)
+}
+
+// RandomSearchContext is RandomSearch under a context: cancellation or
+// deadline expiry stops the sampling loop cleanly and returns the
+// best-so-far archive with Interrupted set; Cursor counts the
+// iterations performed.
+func RandomSearchContext(ctx context.Context, s *spec.Spec, opts Options, iters int, seed int64) *Result {
 	rng := rand.New(rand.NewSource(seed))
 	units := alloc.Units(s)
-	res := &Result{MaxFlexibility: MaxFlexibility(s, opts)}
+	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	res.Stats.AllocSpace = pow2(len(units))
 	_, _, pc, _ := s.Problem.ElementCount()
 	res.Stats.DesignSpace = res.Stats.AllocSpace * pow2(pc)
 	front := &pareto.Front{}
 	seen := map[string]bool{}
 	for i := 0; i < iters; i++ {
+		if ctx.Err() != nil {
+			res.Interrupted, res.Reason = true, reasonFor(ctx)
+			break
+		}
+		res.Cursor = i + 1
 		a := spec.Allocation{}
 		for _, u := range units {
 			if rng.Intn(2) == 0 {
@@ -95,11 +116,19 @@ func (c EAConfig) withDefaults(nUnits int) EAConfig {
 // metaheuristic scalability; the comparison benchmark (experiment E11)
 // measures what that trade costs on the case study.
 func Evolutionary(s *spec.Spec, opts Options, cfg EAConfig) *Result {
+	return EvolutionaryContext(context.Background(), s, opts, cfg)
+}
+
+// EvolutionaryContext is Evolutionary under a context: cancellation or
+// deadline expiry stops the evolution at a generation boundary and
+// returns the archive accumulated so far with Interrupted set; Cursor
+// counts the generations completed.
+func EvolutionaryContext(ctx context.Context, s *spec.Spec, opts Options, cfg EAConfig) *Result {
 	units := alloc.Units(s)
 	cfg = cfg.withDefaults(len(units))
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	res := &Result{MaxFlexibility: MaxFlexibility(s, opts)}
+	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	res.Stats.AllocSpace = pow2(len(units))
 	_, _, pc, _ := s.Problem.ElementCount()
 	res.Stats.DesignSpace = res.Stats.AllocSpace * pow2(pc)
@@ -173,6 +202,12 @@ func Evolutionary(s *spec.Spec, opts Options, cfg EAConfig) *Result {
 		}
 	}
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if ctx.Err() != nil {
+			res.Interrupted, res.Reason = true, reasonFor(ctx)
+			res.Front = frontToImplementations(front)
+			return res
+		}
+		res.Cursor = gen + 1
 		next := make([]genome, 0, cfg.Population)
 		for len(next) < cfg.Population {
 			p1, p2 := tournament(), tournament()
@@ -199,6 +234,10 @@ func Evolutionary(s *spec.Spec, opts Options, cfg EAConfig) *Result {
 	}
 	// Final evaluation of the last generation.
 	for _, g := range pop {
+		if ctx.Err() != nil {
+			res.Interrupted, res.Reason = true, reasonFor(ctx)
+			break
+		}
 		evaluate(g)
 	}
 	res.Front = frontToImplementations(front)

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/bind"
 	"repro/internal/cover"
+	"repro/internal/faultinject"
 	"repro/internal/flex"
 	"repro/internal/hgraph"
 	"repro/internal/spec"
@@ -89,6 +91,30 @@ type Options struct {
 	MaxScan int
 	// MaxBindNodes bounds each binding search (0 = unbounded).
 	MaxBindNodes int
+
+	// The fields below configure the anytime runtime, not the
+	// exploration semantics: they never change which front a completed
+	// run returns, and they are excluded from checkpoint option
+	// digests.
+
+	// Fault injects deterministic failures at the engine's failpoints
+	// (SiteEstimate, SiteImplement); see internal/faultinject. A nil
+	// plan is inert. Test harness only.
+	Fault *faultinject.Plan
+	// Progress, if non-nil, is called from the scan goroutine every
+	// ProgressEvery processed candidates with a consistent snapshot of
+	// the run, suitable for checkpointing. The snapshot's front shares
+	// the run's implementations; treat them as read-only.
+	Progress func(Progress)
+	// ProgressEvery is the candidate interval between Progress calls
+	// (0 = 64).
+	ProgressEvery int
+	// Resume seeds the run with the state of an earlier interrupted
+	// run: candidates before Resume.Cursor are skipped (the
+	// cost-ordered enumeration is deterministic, so the skip replays
+	// the identical prefix) and the front, best flexibility, and effort
+	// counters continue from the snapshot.
+	Resume *Resume
 }
 
 func (o Options) maxECS() int {
@@ -98,44 +124,152 @@ func (o Options) maxECS() int {
 	return o.MaxECS
 }
 
+func (o Options) progressEvery() int {
+	if o.ProgressEvery <= 0 {
+		return 64
+	}
+	return o.ProgressEvery
+}
+
+// Failpoint sites of the exploration engine (see Options.Fault). Both
+// are fired with the cost-ordered candidate index.
+const (
+	// SiteEstimate fires before each candidate's flexibility
+	// estimation.
+	SiteEstimate = "core/estimate"
+	// SiteImplement fires before each candidate's implementation
+	// construction (only candidates that beat the flexibility bound).
+	SiteImplement = "core/implement"
+)
+
+// Diag kinds recorded in Stats.Diags.
+const (
+	DiagError = "error"
+	DiagPanic = "panic"
+)
+
+// Diag is a structured diagnostic for one candidate evaluation that
+// failed (an injected error, or a panic recovered by the parallel
+// explorer). The candidate is skipped; the scan continues.
+type Diag struct {
+	Kind       string `json:"kind"` // DiagError | DiagPanic
+	Site       string `json:"site"` // SiteEstimate | SiteImplement
+	Cursor     int    `json:"cursor"`
+	Allocation string `json:"allocation"`
+	Message    string `json:"message"`
+	Stack      string `json:"stack,omitempty"`
+}
+
+// Reason classifies how an exploration run ended.
+type Reason string
+
+const (
+	// ReasonCompleted: the scan exhausted the possible-allocation
+	// space.
+	ReasonCompleted Reason = "completed"
+	// ReasonMaxFlex: Options.StopAtMaxFlex terminated the scan after
+	// the specification's maximum flexibility was implemented.
+	ReasonMaxFlex Reason = "max-flex"
+	// ReasonScanBound: Options.MaxScan bounded the enumeration.
+	ReasonScanBound Reason = "scan-bound"
+	// ReasonDeadline: the context's deadline expired mid-scan.
+	ReasonDeadline Reason = "deadline"
+	// ReasonCancelled: the context was cancelled mid-scan (SIGINT, a
+	// parent cancellation, or an injected fault).
+	ReasonCancelled Reason = "cancelled"
+)
+
+// reasonFor maps a done context to the interruption reason.
+func reasonFor(ctx context.Context) Reason {
+	if ctx.Err() == context.DeadlineExceeded {
+		return ReasonDeadline
+	}
+	return ReasonCancelled
+}
+
+// Progress is a consistent snapshot of a running scan, delivered to
+// Options.Progress. Cursor counts the possible candidates already
+// folded into the front, so the front is exactly the Pareto set of the
+// explored prefix [0, Cursor).
+type Progress struct {
+	Cursor         int
+	BestFlex       float64
+	MaxFlexibility float64
+	Front          []*Implementation
+	Stats          Stats
+}
+
+// Resume is the state needed to continue an interrupted cost-ordered
+// scan; build it from a Result (Cursor, Front, Stats) or through
+// internal/checkpoint, which persists and revalidates it.
+type Resume struct {
+	// Cursor is the index of the next possible candidate to evaluate.
+	Cursor int
+	// Front is the Pareto front over the explored prefix.
+	Front []*Implementation
+	// Stats holds the effort counters accumulated before the
+	// interruption; the resumed run continues them, so a resumed run's
+	// final counters match an uninterrupted run's.
+	Stats Stats
+}
+
 // Stats aggregates the effort counters the paper reports in Section 5.
 type Stats struct {
 	// DesignSpace is 2^(allocatable units + problem clusters), the
 	// paper's headline search-space size (2^25 for the case study).
-	DesignSpace float64
+	DesignSpace float64 `json:"designSpace"`
 	// AllocSpace is 2^(allocatable units).
-	AllocSpace float64
+	AllocSpace float64 `json:"allocSpace"`
 	// Scanned counts allocation subsets generated in cost order.
-	Scanned int
+	Scanned int `json:"scanned"`
 	// PossibleAllocations counts subsets passing the possibility test
 	// (the paper's "set of possible resource allocations").
-	PossibleAllocations int
+	PossibleAllocations int `json:"possibleAllocations"`
 	// Estimated counts flexibility estimations performed (one boolean
 	// equation per candidate, in the paper's terms).
-	Estimated int
+	Estimated int `json:"estimated"`
 	// Attempted counts candidates whose estimate beat the implemented
 	// flexibility and therefore went to implementation construction.
-	Attempted int
+	Attempted int `json:"attempted"`
 	// ECSTested counts elementary cluster activations submitted to the
 	// binding solver; BindingRuns counts solver invocations (one per
 	// architecture configuration tried); BindingNodes their summed
 	// search nodes.
-	ECSTested    int
-	BindingRuns  int
-	BindingNodes int
+	ECSTested    int `json:"ecsTested"`
+	BindingRuns  int `json:"bindingRuns"`
+	BindingNodes int `json:"bindingNodes"`
 	// Feasible counts candidates that yielded an implementation with
 	// positive flexibility.
-	Feasible int
+	Feasible int `json:"feasible"`
+	// Diags records candidate evaluations that failed (injected
+	// errors, panics recovered by the parallel workers). The failed
+	// candidates are skipped; everything else proceeds.
+	Diags []Diag `json:"diags,omitempty"`
 }
 
-// Result is the outcome of an exploration.
+// Result is the outcome of an exploration. Because candidates arrive
+// in nondecreasing cost, an interrupted run's Front is still exactly
+// the Pareto-optimal set of the explored prefix [0, Cursor) — a valid
+// anytime answer, resumable via Options.Resume.
 type Result struct {
 	// Front is the Pareto-optimal set, sorted by increasing cost.
 	Front []*Implementation
 	// MaxFlexibility is the flexibility of the specification when every
 	// bindable cluster is activated (upper bound of the front).
 	MaxFlexibility float64
-	Stats          Stats
+	// Interrupted reports that the scan stopped early on a context
+	// deadline or cancellation; Front is the partial (prefix-exact)
+	// answer.
+	Interrupted bool
+	// Reason classifies the termination.
+	Reason Reason
+	// Cursor is the scan cursor: the index of the next possible
+	// candidate the scan would have evaluated (== the number of
+	// candidates whose evaluation is reflected in Front). For the
+	// sampling baselines it counts iterations (RandomSearch) or
+	// generations (Evolutionary) instead.
+	Cursor int
+	Stats  Stats
 }
 
 // FrontTable renders the Pareto set in the layout of the paper's

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/alloc"
 	"repro/internal/pareto"
 	"repro/internal/spec"
@@ -18,9 +20,23 @@ import (
 // returned front is exactly the Pareto-optimal set over the explored
 // space.
 func Explore(s *spec.Spec, opts Options) *Result {
-	res := &Result{MaxFlexibility: MaxFlexibility(s, opts)}
+	return ExploreContext(context.Background(), s, opts)
+}
+
+// ExploreContext is Explore under a context: when ctx is cancelled or
+// its deadline expires, the cost-ordered scan stops cleanly and the
+// best-so-far front is returned with Interrupted set and Cursor at the
+// first unevaluated candidate. The cost ordering makes every partial
+// front exactly the Pareto set of the explored prefix, so an
+// interrupted result is a valid anytime answer; continue it with
+// Options.Resume.
+func ExploreContext(ctx context.Context, s *spec.Spec, opts Options) *Result {
+	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	front := &pareto.Front{}
-	fcur := 0.0
+	fcur, startCursor := seedResume(res, front, opts.Resume)
+	idx := 0
+	lastEmit := startCursor
+	res.Cursor = startCursor
 
 	_, _, pc, _ := s.Problem.ElementCount()
 	aStats := alloc.Enumerate(s, alloc.Options{
@@ -28,35 +44,112 @@ func Explore(s *spec.Spec, opts Options) *Result {
 		MaxScan:            opts.MaxScan,
 	}, func(c alloc.Candidate) bool {
 		res.Stats.PossibleAllocations++
+		if idx < startCursor {
+			// Resume: replay the deterministic enumeration up to the
+			// snapshot's cursor without re-evaluating candidates.
+			idx++
+			return true
+		}
+		if ctx.Err() != nil {
+			res.Interrupted, res.Reason = true, reasonFor(ctx)
+			return false
+		}
+		if opts.Progress != nil && idx-lastEmit >= opts.progressEvery() {
+			opts.Progress(Progress{
+				Cursor:         idx,
+				BestFlex:       fcur,
+				MaxFlexibility: res.MaxFlexibility,
+				Front:          frontToImplementations(front),
+				Stats:          res.Stats,
+			})
+			lastEmit = idx
+		}
+		if err := opts.Fault.Fire(SiteEstimate, idx); err != nil {
+			res.Stats.Diags = append(res.Stats.Diags, Diag{
+				Kind: DiagError, Site: SiteEstimate, Cursor: idx,
+				Allocation: c.Allocation.String(), Message: err.Error(),
+			})
+			idx++
+			res.Cursor = idx
+			return true
+		}
+		if ctx.Err() != nil {
+			// A Cancel failpoint fired between the two checks.
+			res.Interrupted, res.Reason = true, reasonFor(ctx)
+			return false
+		}
 		res.Stats.Estimated++
 		est := Estimate(s, c.Allocation, opts)
 		if !opts.DisableFlexBound && est <= fcur {
+			idx++
+			res.Cursor = idx
+			return true
+		}
+		if err := opts.Fault.Fire(SiteImplement, idx); err != nil {
+			res.Stats.Diags = append(res.Stats.Diags, Diag{
+				Kind: DiagError, Site: SiteImplement, Cursor: idx,
+				Allocation: c.Allocation.String(), Message: err.Error(),
+			})
+			idx++
+			res.Cursor = idx
 			return true
 		}
 		res.Stats.Attempted++
 		im := Implement(s, c.Allocation, opts, &res.Stats)
-		if im == nil {
-			return true
-		}
-		res.Stats.Feasible++
-		if front.Add(&pareto.Entry{
-			Objectives: pareto.CostFlexObjectives(im.Cost, im.Flexibility),
-			Value:      im,
-		}) {
-			if im.Flexibility > fcur {
+		if im != nil {
+			res.Stats.Feasible++
+			if front.Add(&pareto.Entry{
+				Objectives: pareto.CostFlexObjectives(im.Cost, im.Flexibility),
+				Value:      im,
+			}) && im.Flexibility > fcur {
 				fcur = im.Flexibility
 			}
 		}
+		idx++
+		res.Cursor = idx
 		if opts.StopAtMaxFlex && fcur >= res.MaxFlexibility {
+			res.Reason = ReasonMaxFlex
 			return false
 		}
 		return true
 	})
+	finishResult(res, aStats, pc, opts)
+	res.Front = frontToImplementations(front)
+	return res
+}
+
+// seedResume folds a Resume snapshot into a fresh run: front entries,
+// the flexibility bound, and the effort counters. Scanned and
+// PossibleAllocations restart at zero because the resumed enumeration
+// replays the whole prefix, so counting every candidate again yields
+// the uninterrupted run's totals.
+func seedResume(res *Result, front *pareto.Front, r *Resume) (fcur float64, startCursor int) {
+	if r == nil {
+		return 0, 0
+	}
+	res.Stats = r.Stats
+	res.Stats.Scanned = 0
+	res.Stats.PossibleAllocations = 0
+	for _, im := range r.Front {
+		if front.Add(&pareto.Entry{
+			Objectives: pareto.CostFlexObjectives(im.Cost, im.Flexibility),
+			Value:      im,
+		}) && im.Flexibility > fcur {
+			fcur = im.Flexibility
+		}
+	}
+	return fcur, r.Cursor
+}
+
+// finishResult folds the enumeration statistics into the result and
+// classifies a MaxScan-bounded termination.
+func finishResult(res *Result, aStats alloc.Stats, pc int, opts Options) {
 	res.Stats.Scanned = aStats.Scanned
 	res.Stats.AllocSpace = aStats.SearchSpace
 	res.Stats.DesignSpace = aStats.SearchSpace * pow2(pc)
-	res.Front = frontToImplementations(front)
-	return res
+	if res.Reason == ReasonCompleted && opts.MaxScan > 0 && aStats.Scanned >= opts.MaxScan {
+		res.Reason = ReasonScanBound
+	}
 }
 
 func pow2(n int) float64 {

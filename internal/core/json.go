@@ -10,6 +10,9 @@ import (
 // tooling (plotting, regression dashboards).
 type jsonResult struct {
 	MaxFlexibility float64              `json:"maxFlexibility"`
+	Interrupted    bool                 `json:"interrupted,omitempty"`
+	Reason         string               `json:"reason,omitempty"`
+	Cursor         int                  `json:"cursor"`
 	Front          []jsonImplementation `json:"front"`
 	Stats          jsonStats            `json:"stats"`
 }
@@ -38,6 +41,7 @@ type jsonStats struct {
 	ECSTested           int     `json:"ecsTested"`
 	BindingRuns         int     `json:"bindingRuns"`
 	BindingNodes        int     `json:"bindingNodes"`
+	Diags               []Diag  `json:"diags,omitempty"`
 }
 
 // MarshalJSON encodes the result — front, per-implementation behaviours
@@ -45,6 +49,9 @@ type jsonStats struct {
 func (r *Result) MarshalJSON() ([]byte, error) {
 	out := jsonResult{
 		MaxFlexibility: r.MaxFlexibility,
+		Interrupted:    r.Interrupted,
+		Reason:         string(r.Reason),
+		Cursor:         r.Cursor,
 		Stats: jsonStats{
 			DesignSpace:         r.Stats.DesignSpace,
 			AllocSpace:          r.Stats.AllocSpace,
@@ -55,6 +62,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 			ECSTested:           r.Stats.ECSTested,
 			BindingRuns:         r.Stats.BindingRuns,
 			BindingNodes:        r.Stats.BindingNodes,
+			Diags:               r.Stats.Diags,
 		},
 	}
 	for _, im := range r.Front {

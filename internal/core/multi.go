@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/alloc"
@@ -115,7 +116,13 @@ type MultiResult struct {
 	Front      []*Implementation
 	Objectives [][]float64
 	Names      []string
-	Stats      Stats
+	// Interrupted/Reason/Cursor carry the anytime-termination state,
+	// with the same semantics as Result: an interrupted front is the
+	// exact non-dominated set of the explored cost-ordered prefix.
+	Interrupted bool
+	Reason      Reason
+	Cursor      int
+	Stats       Stats
 }
 
 // ExploreMulti explores the possible resource allocations under an
@@ -126,10 +133,18 @@ type MultiResult struct {
 // coincides with Explore (property-tested), but the pruning is weaker
 // than EXPLORE's scalar bound, which exploits the cost ordering.
 func ExploreMulti(s *spec.Spec, opts Options, objectives []Objective) *MultiResult {
+	return ExploreMultiContext(context.Background(), s, opts, objectives)
+}
+
+// ExploreMultiContext is ExploreMulti under a context: cancellation or
+// deadline expiry stops the cost-ordered scan cleanly and returns the
+// best-so-far front with Interrupted set and Cursor at the first
+// unevaluated candidate.
+func ExploreMultiContext(ctx context.Context, s *spec.Spec, opts Options, objectives []Objective) *MultiResult {
 	if len(objectives) == 0 {
 		objectives = []Objective{CostObjective(), InvFlexibilityObjective()}
 	}
-	res := &MultiResult{}
+	res := &MultiResult{Reason: ReasonCompleted}
 	for _, o := range objectives {
 		res.Names = append(res.Names, o.Name)
 	}
@@ -139,7 +154,12 @@ func ExploreMulti(s *spec.Spec, opts Options, objectives []Objective) *MultiResu
 		IncludeUselessComm: opts.IncludeUselessComm,
 		MaxScan:            opts.MaxScan,
 	}, func(c alloc.Candidate) bool {
+		if ctx.Err() != nil {
+			res.Interrupted, res.Reason = true, reasonFor(ctx)
+			return false
+		}
 		res.Stats.PossibleAllocations++
+		res.Cursor++
 		res.Stats.Estimated++
 		if !opts.DisableFlexBound {
 			best := make([]float64, len(objectives))
@@ -168,6 +188,9 @@ func ExploreMulti(s *spec.Spec, opts Options, objectives []Objective) *MultiResu
 	res.Stats.Scanned = aStats.Scanned
 	res.Stats.AllocSpace = aStats.SearchSpace
 	res.Stats.DesignSpace = aStats.SearchSpace * pow2(pc)
+	if res.Reason == ReasonCompleted && opts.MaxScan > 0 && aStats.Scanned >= opts.MaxScan {
+		res.Reason = ReasonScanBound
+	}
 	for _, e := range front.Entries() {
 		res.Front = append(res.Front, e.Value.(*Implementation))
 		res.Objectives = append(res.Objectives, e.Objectives)

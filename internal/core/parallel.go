@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/alloc"
@@ -28,11 +31,27 @@ import (
 // the speedup materializes with GOMAXPROCS > 1 because candidates are
 // evaluated independently.
 func ExploreParallel(s *spec.Spec, opts Options, workers, batch int) *Result {
+	return ExploreParallelContext(context.Background(), s, opts, workers, batch)
+}
+
+// ExploreParallelContext is ExploreParallel under a context, with the
+// same anytime semantics as ExploreContext: on cancellation the fold
+// stops at the first unevaluated candidate (in candidate order), so the
+// partial front is exactly the Pareto set of the explored prefix and
+// Cursor marks where a resumed run continues.
+//
+// Candidate evaluations are additionally isolated against panics: a
+// panicking estimation or implementation construction is recovered in
+// its worker, recorded as a structured Diag in Stats, and the candidate
+// is skipped — one poisoned design point cannot take down a long scan.
+// (The sequential explorer deliberately does not recover: combined with
+// periodic checkpointing, a crash there is recovered by resuming.)
+func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, workers, batch int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return Explore(s, opts)
+		return ExploreContext(ctx, s, opts)
 	}
 	if batch <= 0 {
 		batch = 8 * workers
@@ -40,20 +59,36 @@ func ExploreParallel(s *spec.Spec, opts Options, workers, batch int) *Result {
 	// Warm the lazy indexes of the specification before concurrent use.
 	_ = Estimate(s, spec.Allocation{}, opts)
 
-	res := &Result{MaxFlexibility: MaxFlexibility(s, opts)}
+	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	front := &pareto.Front{}
-	fcur := 0.0
+	fcur, startCursor := seedResume(res, front, opts.Resume)
+	idx := 0
+	lastEmit := startCursor
+	res.Cursor = startCursor
 
 	type job struct {
+		idx       int
 		alloc     spec.Allocation
+		site      string
 		est       float64
+		estimated bool
 		attempted bool
+		cancelled bool
 		impl      *Implementation
 		stats     Stats
+		diag      *Diag
 	}
 	var wave []*job
 
+	// flush evaluates the pending wave concurrently and folds it into
+	// the front in candidate order. It returns false when the scan must
+	// stop (cancellation observed, or StopAtMaxFlex satisfied); the
+	// termination reason and cursor are recorded on res either way, so
+	// nothing is lost if a caller discards the return value.
 	flush := func() bool {
+		if len(wave) == 0 {
+			return true
+		}
 		bound := fcur
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, workers)
@@ -63,8 +98,43 @@ func ExploreParallel(s *spec.Spec, opts Options, workers, batch int) *Result {
 			go func(j *job) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				defer func() {
+					if r := recover(); r != nil {
+						j.diag = &Diag{
+							Kind: DiagPanic, Site: j.site, Cursor: j.idx,
+							Allocation: j.alloc.String(),
+							Message:    fmt.Sprint(r),
+							Stack:      trimStack(debug.Stack()),
+						}
+					}
+				}()
+				if ctx.Err() != nil {
+					j.cancelled = true
+					return
+				}
+				j.site = SiteEstimate
+				if err := opts.Fault.Fire(SiteEstimate, j.idx); err != nil {
+					j.diag = &Diag{
+						Kind: DiagError, Site: SiteEstimate, Cursor: j.idx,
+						Allocation: j.alloc.String(), Message: err.Error(),
+					}
+					return
+				}
+				if ctx.Err() != nil {
+					j.cancelled = true
+					return
+				}
+				j.estimated = true
 				j.est = Estimate(s, j.alloc, opts)
 				if !opts.DisableFlexBound && j.est <= bound {
+					return
+				}
+				j.site = SiteImplement
+				if err := opts.Fault.Fire(SiteImplement, j.idx); err != nil {
+					j.diag = &Diag{
+						Kind: DiagError, Site: SiteImplement, Cursor: j.idx,
+						Allocation: j.alloc.String(), Message: err.Error(),
+					}
 					return
 				}
 				j.attempted = true
@@ -74,34 +144,53 @@ func ExploreParallel(s *spec.Spec, opts Options, workers, batch int) *Result {
 		wg.Wait()
 		stop := false
 		for _, j := range wave {
-			res.Stats.Estimated++
-			if !j.attempted {
+			if j.cancelled {
+				// The fold stops at the first candidate that was not
+				// evaluated; completed jobs after it are discarded so
+				// the front stays prefix-exact.
+				res.Interrupted, res.Reason = true, reasonFor(ctx)
+				res.Cursor = j.idx
+				stop = true
+				break
+			}
+			if j.estimated {
+				res.Stats.Estimated++
+			}
+			if j.diag != nil {
+				// Faulted or panicked: record the diagnostic, skip the
+				// candidate, keep scanning.
+				res.Stats.Diags = append(res.Stats.Diags, *j.diag)
+				res.Cursor = j.idx + 1
 				continue
 			}
 			// Second chance against the bound tightened within this
 			// wave: drop results the sequential run would have skipped
 			// (they are dominated anyway; skipping keeps the counters
 			// closer to the sequential run's).
-			if !opts.DisableFlexBound && j.est <= fcur {
-				continue
+			if j.attempted && (opts.DisableFlexBound || j.est > fcur) {
+				res.Stats.Attempted++
+				res.Stats.ECSTested += j.stats.ECSTested
+				res.Stats.BindingRuns += j.stats.BindingRuns
+				res.Stats.BindingNodes += j.stats.BindingNodes
+				if j.impl != nil {
+					res.Stats.Feasible++
+					if front.Add(&pareto.Entry{
+						Objectives: pareto.CostFlexObjectives(j.impl.Cost, j.impl.Flexibility),
+						Value:      j.impl,
+					}) && j.impl.Flexibility > fcur {
+						fcur = j.impl.Flexibility
+					}
+				}
+				// Same stopping rule as the sequential explorer: check
+				// only after an attempted implementation.
+				if opts.StopAtMaxFlex && fcur >= res.MaxFlexibility {
+					res.Reason = ReasonMaxFlex
+					res.Cursor = j.idx + 1
+					stop = true
+					break
+				}
 			}
-			res.Stats.Attempted++
-			res.Stats.ECSTested += j.stats.ECSTested
-			res.Stats.BindingRuns += j.stats.BindingRuns
-			res.Stats.BindingNodes += j.stats.BindingNodes
-			if j.impl == nil {
-				continue
-			}
-			res.Stats.Feasible++
-			if front.Add(&pareto.Entry{
-				Objectives: pareto.CostFlexObjectives(j.impl.Cost, j.impl.Flexibility),
-				Value:      j.impl,
-			}) && j.impl.Flexibility > fcur {
-				fcur = j.impl.Flexibility
-			}
-			if opts.StopAtMaxFlex && fcur >= res.MaxFlexibility {
-				stop = true
-			}
+			res.Cursor = j.idx + 1
 		}
 		wave = wave[:0]
 		return !stop
@@ -113,16 +202,55 @@ func ExploreParallel(s *spec.Spec, opts Options, workers, batch int) *Result {
 		MaxScan:            opts.MaxScan,
 	}, func(c alloc.Candidate) bool {
 		res.Stats.PossibleAllocations++
-		wave = append(wave, &job{alloc: c.Allocation.Clone()})
+		if idx < startCursor {
+			idx++
+			return true
+		}
+		if ctx.Err() != nil {
+			if len(wave) == 0 {
+				res.Interrupted, res.Reason = true, reasonFor(ctx)
+			} else {
+				// Fold the pending wave: its workers observe the
+				// cancelled context and the fold lands on the first
+				// unevaluated candidate.
+				flush()
+			}
+			return false
+		}
+		wave = append(wave, &job{idx: idx, alloc: c.Allocation.Clone()})
+		idx++
 		if len(wave) >= batch {
-			return flush()
+			if !flush() {
+				return false
+			}
+			if opts.Progress != nil && res.Cursor-lastEmit >= opts.progressEvery() {
+				opts.Progress(Progress{
+					Cursor:         res.Cursor,
+					BestFlex:       fcur,
+					MaxFlexibility: res.MaxFlexibility,
+					Front:          frontToImplementations(front),
+					Stats:          res.Stats,
+				})
+				lastEmit = res.Cursor
+			}
 		}
 		return true
 	})
+	// Final partial wave: flush records any StopAtMaxFlex hit or
+	// cancellation on res (previously the return value — and with it
+	// the termination reason — was silently discarded here).
 	flush()
-	res.Stats.Scanned = aStats.Scanned
-	res.Stats.AllocSpace = aStats.SearchSpace
-	res.Stats.DesignSpace = aStats.SearchSpace * pow2(pc)
+	finishResult(res, aStats, pc, opts)
 	res.Front = frontToImplementations(front)
 	return res
+}
+
+// trimStack bounds a recovered panic's stack trace so Stats diags stay
+// checkpoint-friendly.
+func trimStack(stack []byte) string {
+	const max = 2048
+	if len(stack) > max {
+		return string(stack[:max]) + "\n...[truncated]"
+	}
+	return string(stack)
 }

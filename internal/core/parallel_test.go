@@ -1,10 +1,14 @@
 package core
 
 import (
+	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/alloc"
 	"repro/internal/models"
+	"repro/internal/spec"
 )
 
 func sameFronts(t *testing.T, a, b *Result) {
@@ -79,6 +83,52 @@ func TestPropParallelAgrees(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestImplementConcurrentAfterWarmup: the parallel explorer relies on a
+// single warm-up Estimate building every lazy index of the shared
+// specification before workers hit it concurrently. Exercise exactly
+// that pattern under the race detector: warm up once, then hammer
+// Implement from many goroutines and check the results against a
+// sequential run on a pristine spec instance.
+func TestImplementConcurrentAfterWarmup(t *testing.T) {
+	s := models.SetTopBox()
+	_ = Estimate(s, spec.Allocation{}, Options{})
+
+	var cands []spec.Allocation
+	alloc.Enumerate(s, alloc.Options{}, func(c alloc.Candidate) bool {
+		cands = append(cands, c.Allocation.Clone())
+		return len(cands) < 40
+	})
+
+	want := make([][2]float64, len(cands))
+	fresh := models.SetTopBox()
+	for i, a := range cands {
+		want[i] = [2]float64{-1, -1}
+		if im := Implement(fresh, a, Options{}, nil); im != nil {
+			want[i] = [2]float64{im.Cost, im.Flexibility}
+		}
+	}
+
+	const workers = 8
+	got := make([][2]float64, len(cands))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(cands); i += workers {
+				got[i] = [2]float64{-1, -1}
+				if im := Implement(s, cands[i], Options{}, nil); im != nil {
+					got[i] = [2]float64{im.Cost, im.Flexibility}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("concurrent Implement results diverge from sequential run")
 	}
 }
 

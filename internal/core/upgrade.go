@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/alloc"
 	"repro/internal/pareto"
 	"repro/internal/spec"
@@ -18,7 +20,14 @@ import (
 // more flexibility than the base implementation (the base itself is the
 // front's implicit origin and is not repeated).
 func Upgrade(s *spec.Spec, base spec.Allocation, opts Options) *Result {
-	res := &Result{MaxFlexibility: MaxFlexibility(s, opts)}
+	return UpgradeContext(context.Background(), s, base, opts)
+}
+
+// UpgradeContext is Upgrade under a context, with the same anytime
+// semantics as ExploreContext: an interrupted run returns the
+// Pareto-optimal upgrades over the explored cost-ordered prefix.
+func UpgradeContext(ctx context.Context, s *spec.Spec, base spec.Allocation, opts Options) *Result {
+	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	front := &pareto.Front{}
 
 	baseImpl := Implement(s, base, opts, &res.Stats)
@@ -33,7 +42,12 @@ func Upgrade(s *spec.Spec, base spec.Allocation, opts Options) *Result {
 		IncludeUselessComm: opts.IncludeUselessComm,
 		MaxScan:            opts.MaxScan,
 	}, func(c alloc.Candidate) bool {
+		if ctx.Err() != nil {
+			res.Interrupted, res.Reason = true, reasonFor(ctx)
+			return false
+		}
 		res.Stats.PossibleAllocations++
+		res.Cursor++
 		res.Stats.Estimated++
 		est := Estimate(s, c.Allocation, opts)
 		if !opts.DisableFlexBound && est <= fcur {
@@ -52,13 +66,12 @@ func Upgrade(s *spec.Spec, base spec.Allocation, opts Options) *Result {
 			fcur = im.Flexibility
 		}
 		if opts.StopAtMaxFlex && fcur >= res.MaxFlexibility {
+			res.Reason = ReasonMaxFlex
 			return false
 		}
 		return true
 	})
-	res.Stats.Scanned = aStats.Scanned
-	res.Stats.AllocSpace = aStats.SearchSpace
-	res.Stats.DesignSpace = aStats.SearchSpace * pow2(pc)
+	finishResult(res, aStats, pc, opts)
 	res.Front = frontToImplementations(front)
 	return res
 }

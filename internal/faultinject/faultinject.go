@@ -1,0 +1,182 @@
+// Package faultinject provides a deterministic fault-injection plan
+// for testing the robustness of long-running scans. Code under test
+// declares named failpoints ("sites") and fires them with the index of
+// the unit of work being processed (for the exploration engine, the
+// cost-ordered candidate index); a test registers rules that trigger an
+// error, a panic, or a context cancellation at an exact (site, index)
+// pair. Because the rules key on indices rather than wall-clock time,
+// every injected failure is exactly reproducible, including under
+// concurrent execution.
+//
+// A nil *Plan is inert: production code calls Fire/Count on the nil
+// plan at full speed with no allocation and no locking.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so tests
+// and callers can recognize injected failures with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// Kind is the effect of a fired rule.
+type Kind int
+
+const (
+	// KindError makes Fire return an error.
+	KindError Kind = iota
+	// KindPanic makes Fire panic.
+	KindPanic
+	// KindCancel makes Fire call the bound context.CancelFunc and
+	// return nil; the scan notices through its usual ctx checks.
+	KindCancel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindCancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Rule triggers a fault when Fire(Site, i) is called with i == Index
+// (Index < 0 matches every index).
+type Rule struct {
+	Site  string
+	Index int
+	Kind  Kind
+	// Err is returned by KindError rules; nil selects a default that
+	// wraps ErrInjected.
+	Err error
+	// Msg is the payload of KindPanic rules.
+	Msg string
+}
+
+// Firing records one triggered rule, for test assertions.
+type Firing struct {
+	Site  string
+	Index int
+	Kind  Kind
+}
+
+// Plan is a set of fault-injection rules plus per-site hit counters.
+// All methods are safe for concurrent use.
+type Plan struct {
+	mu      sync.Mutex
+	rules   []Rule
+	counts  map[string]int
+	cancel  context.CancelFunc
+	firings []Firing
+}
+
+// New returns an empty plan.
+func New() *Plan {
+	return &Plan{counts: map[string]int{}}
+}
+
+// ErrorAt registers an error rule; err == nil selects the default
+// injected error. Returns the plan for chaining.
+func (p *Plan) ErrorAt(site string, index int, err error) *Plan {
+	return p.add(Rule{Site: site, Index: index, Kind: KindError, Err: err})
+}
+
+// PanicAt registers a panic rule.
+func (p *Plan) PanicAt(site string, index int, msg string) *Plan {
+	return p.add(Rule{Site: site, Index: index, Kind: KindPanic, Msg: msg})
+}
+
+// CancelAt registers a cancellation rule; Bind the context's cancel
+// func before the run starts.
+func (p *Plan) CancelAt(site string, index int) *Plan {
+	return p.add(Rule{Site: site, Index: index, Kind: KindCancel})
+}
+
+// Bind attaches the CancelFunc that KindCancel rules invoke.
+func (p *Plan) Bind(cancel context.CancelFunc) *Plan {
+	p.mu.Lock()
+	p.cancel = cancel
+	p.mu.Unlock()
+	return p
+}
+
+func (p *Plan) add(r Rule) *Plan {
+	p.mu.Lock()
+	p.rules = append(p.rules, r)
+	p.mu.Unlock()
+	return p
+}
+
+// Fire triggers the first rule registered for (site, index): KindError
+// rules return their error, KindPanic rules panic, KindCancel rules
+// cancel the bound context and return nil. Without a matching rule (or
+// on a nil plan) Fire returns nil.
+func (p *Plan) Fire(site string, index int) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	var match *Rule
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Site == site && (r.Index < 0 || r.Index == index) {
+			match = r
+			break
+		}
+	}
+	if match == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	p.firings = append(p.firings, Firing{Site: site, Index: index, Kind: match.Kind})
+	kind, err, msg, cancel := match.Kind, match.Err, match.Msg, p.cancel
+	p.mu.Unlock()
+
+	switch kind {
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: %s[%d]: %s", site, index, msg))
+	case KindCancel:
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		if err == nil {
+			err = fmt.Errorf("%w at %s[%d]", ErrInjected, site, index)
+		}
+		return err
+	}
+}
+
+// Count fires the site with its auto-incremented hit counter (0-based):
+// the i-th Count call for a site behaves like Fire(site, i). Intended
+// for sites without a natural work index, such as checkpoint writes.
+func (p *Plan) Count(site string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	idx := p.counts[site]
+	p.counts[site] = idx + 1
+	p.mu.Unlock()
+	return p.Fire(site, idx)
+}
+
+// Firings returns a copy of the log of triggered rules, in firing
+// order.
+func (p *Plan) Firings() []Firing {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Firing(nil), p.firings...)
+}

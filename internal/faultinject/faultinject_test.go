@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFireExactIndex(t *testing.T) {
+	p := New().ErrorAt("site", 3, nil)
+	for i := 0; i < 6; i++ {
+		err := p.Fire("site", i)
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("index 3: want ErrInjected, got %v", err)
+			}
+		} else if err != nil {
+			t.Fatalf("index %d: want nil, got %v", i, err)
+		}
+	}
+	if err := p.Fire("other", 3); err != nil {
+		t.Fatalf("unrelated site fired: %v", err)
+	}
+}
+
+func TestFireEveryIndex(t *testing.T) {
+	p := New().ErrorAt("site", -1, nil)
+	for i := 0; i < 4; i++ {
+		if err := p.Fire("site", i); !errors.Is(err, ErrInjected) {
+			t.Fatalf("index %d: want ErrInjected, got %v", i, err)
+		}
+	}
+}
+
+func TestFireCustomError(t *testing.T) {
+	custom := errors.New("disk on fire")
+	if err := New().ErrorAt("s", 0, custom).Fire("s", 0); !errors.Is(err, custom) {
+		t.Fatalf("want custom error, got %v", err)
+	}
+}
+
+func TestFirePanic(t *testing.T) {
+	p := New().PanicAt("s", 1, "boom")
+	if err := p.Fire("s", 0); err != nil {
+		t.Fatalf("index 0: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "s[1]") || !strings.Contains(msg, "boom") {
+			t.Fatalf("panic message %q", msg)
+		}
+	}()
+	p.Fire("s", 1)
+}
+
+func TestFireCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New().CancelAt("s", 2).Bind(cancel)
+	if err := p.Fire("s", 2); err != nil {
+		t.Fatalf("cancel rule returned error: %v", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("bound context not cancelled")
+	}
+}
+
+func TestCancelWithoutBind(t *testing.T) {
+	// A cancel rule with no bound CancelFunc must be a no-op, not a crash.
+	if err := New().CancelAt("s", 0).Fire("s", 0); err != nil {
+		t.Fatalf("unbound cancel: %v", err)
+	}
+}
+
+func TestCountAutoIndex(t *testing.T) {
+	p := New().ErrorAt("w", 2, nil)
+	for i := 0; i < 2; i++ {
+		if err := p.Count("w"); err != nil {
+			t.Fatalf("count %d: %v", i, err)
+		}
+	}
+	if err := p.Count("w"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third count: want ErrInjected, got %v", err)
+	}
+	// Counters are per site.
+	if err := p.Count("v"); err != nil {
+		t.Fatalf("fresh site: %v", err)
+	}
+}
+
+func TestNilPlanInert(t *testing.T) {
+	var p *Plan
+	if err := p.Fire("s", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Count("s"); err != nil {
+		t.Fatal(err)
+	}
+	if f := p.Firings(); f != nil {
+		t.Fatalf("nil plan logged firings: %v", f)
+	}
+}
+
+func TestFirings(t *testing.T) {
+	p := New().ErrorAt("a", 1, nil).PanicAt("b", 0, "x")
+	p.Fire("a", 0)
+	p.Fire("a", 1)
+	func() {
+		defer func() { recover() }()
+		p.Fire("b", 0)
+	}()
+	want := []Firing{{Site: "a", Index: 1, Kind: KindError}, {Site: "b", Index: 0, Kind: KindPanic}}
+	got := p.Firings()
+	if len(got) != len(want) {
+		t.Fatalf("firings %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	custom := errors.New("first")
+	p := New().ErrorAt("s", -1, custom).PanicAt("s", 0, "second")
+	if err := p.Fire("s", 0); !errors.Is(err, custom) {
+		t.Fatalf("want first rule's error, got %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindError: "error", KindPanic: "panic", KindCancel: "cancel", Kind(9): "Kind(9)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind %d: %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New().ErrorAt("s", 7, nil)
+	var wg sync.WaitGroup
+	hits := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if p.Fire("s", i%10) != nil {
+					hits[g]++
+				}
+				p.Count("c")
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, h := range hits {
+		if h != 10 {
+			t.Errorf("goroutine %d: %d hits, want 10", g, h)
+		}
+	}
+}

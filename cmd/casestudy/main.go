@@ -29,6 +29,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/listsched"
 	"repro/internal/models"
+	"repro/internal/profiling"
 	"repro/internal/spec"
 )
 
@@ -84,6 +85,13 @@ func timingPolicy(name string) bind.TimingPolicy {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main minus the exit: returning (instead of os.Exit) lets the
+// deferred profiling teardown flush -cpuprofile/-memprofile/-trace on
+// every path.
+func run() int {
 	table1 := flag.Bool("table1", false, "print Table 1 (possible mappings and latencies)")
 	tradeoff := flag.Bool("tradeoff", false, "print the Fig. 4 flexibility/cost trade-off as TSV")
 	compare := flag.Bool("compare", false, "compare EXPLORE against exhaustive, random and EA baselines")
@@ -96,24 +104,49 @@ func main() {
 	ckPath := flag.String("checkpoint", "", "periodically write an atomic resume snapshot (default run only)")
 	ckEvery := flag.Int("checkpoint-every", 64, "candidates between periodic checkpoints")
 	resume := flag.Bool("resume", false, "continue from the -checkpoint snapshot (default run only)")
+	cache := flag.String("cache", "on", "cross-candidate evaluation caches: on | off (off is the uncached differential/ablation baseline)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	if (*ckPath != "" || *resume) && (*table1 || *tradeoff || *compare || *verify || *family) {
 		fmt.Fprintln(os.Stderr, "casestudy: -checkpoint/-resume only apply to the default Pareto run")
-		os.Exit(2)
+		return 2
 	}
 	if *resume && *ckPath == "" {
 		fmt.Fprintln(os.Stderr, "casestudy: -resume requires -checkpoint")
-		os.Exit(2)
+		return 2
 	}
 	if *ckEvery <= 0 {
 		fmt.Fprintln(os.Stderr, "casestudy: -checkpoint-every must be > 0")
-		os.Exit(2)
+		return 2
 	}
 	if *timeout < 0 {
 		fmt.Fprintln(os.Stderr, "casestudy: -timeout must be >= 0")
-		os.Exit(2)
+		return 2
 	}
+	if *cache != "on" && *cache != "off" {
+		fmt.Fprintln(os.Stderr, "casestudy: -cache must be on or off")
+		return 2
+	}
+	prof := profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath}
+	if probs := prof.Problems(); len(probs) > 0 {
+		for _, p := range probs {
+			fmt.Fprintln(os.Stderr, "casestudy:", p)
+		}
+		return 2
+	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casestudy:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "casestudy:", err)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -127,10 +160,10 @@ func main() {
 	if *lintMode != "off" {
 		if err := lint.Preflight(s, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "casestudy:", err, "(rerun with -lint=off to explore anyway)")
-			os.Exit(1)
+			return 1
 		}
 	}
-	opts := core.Options{Timing: timingPolicy(*timing), Weighted: *weighted}
+	opts := core.Options{Timing: timingPolicy(*timing), Weighted: *weighted, DisableCache: *cache == "off"}
 
 	switch {
 	case *table1:
@@ -145,9 +178,9 @@ func main() {
 		}
 		fmt.Print(dot.TradeoffTSV(pts))
 	case *compare:
-		compareExplorers(ctx, s, opts)
+		return compareExplorers(ctx, s, opts)
 	case *verify:
-		verifyFront(ctx, s, opts)
+		return verifyFront(ctx, s, opts)
 	case *family:
 		r := core.ExploreContext(ctx, s, opts)
 		fmt.Print(core.AnalyzeFamily(s, r.Front))
@@ -170,12 +203,12 @@ func main() {
 			snap, err := checkpoint.Load(*ckPath)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "casestudy:", err)
-				os.Exit(1)
+				return 1
 			}
 			res, err := snap.Resume(s, opts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "casestudy:", err)
-				os.Exit(1)
+				return 1
 			}
 			opts.Resume = res
 			fmt.Fprintf(os.Stderr, "casestudy: resuming at candidate %d (%d front entries)\n",
@@ -211,8 +244,13 @@ func main() {
 		fmt.Printf("implementations     : %d attempted, %d feasible\n", st.Attempted, st.Feasible)
 		fmt.Printf("binding solver      : %d runs over %d behaviours (%d search nodes)\n",
 			st.BindingRuns, st.ECSTested, st.BindingNodes)
+		if c := st.Cache; c != (core.CacheStats{}) {
+			fmt.Printf("evaluation caches   : %d bindings reused / %d solved, flatten %d/%d hits (problem/arch)\n",
+				c.BindHits(), c.BindMisses, c.FlattenHits, c.ArchFlattenHits)
+		}
 		fmt.Printf("maximum flexibility : %g\n", r.MaxFlexibility)
 	}
+	return 0
 }
 
 func printTable1() {
@@ -236,7 +274,7 @@ func printTable1() {
 	}
 }
 
-func compareExplorers(ctx context.Context, s *spec.Spec, opts core.Options) {
+func compareExplorers(ctx context.Context, s *spec.Spec, opts core.Options) int {
 	type run struct {
 		name string
 		res  *core.Result
@@ -253,7 +291,7 @@ func compareExplorers(ctx context.Context, s *spec.Spec, opts core.Options) {
 		fmt.Printf("%-16s | %6d | %9d | %8d | %9d\n", r.name, len(r.res.Front),
 			r.res.Stats.Attempted, r.res.Stats.BindingRuns, r.res.Stats.BindingNodes)
 	}
-	os.Exit(0)
+	return 0
 }
 
 // verifyFront re-derives every Pareto implementation and checks each of
@@ -261,7 +299,7 @@ func compareExplorers(ctx context.Context, s *spec.Spec, opts core.Options) {
 // rules, a constructed static schedule, and the hierarchical activation
 // rules over a round-robin schedule of all behaviours. It also reports
 // the latency head-room an optimizing re-binding recovers.
-func verifyFront(ctx context.Context, s *spec.Spec, opts core.Options) {
+func verifyFront(ctx context.Context, s *spec.Spec, opts core.Options) int {
 	opts.AllBehaviours = true
 	r := core.ExploreContext(ctx, s, opts)
 	failures := 0
@@ -314,7 +352,8 @@ func verifyFront(ctx context.Context, s *spec.Spec, opts core.Options) {
 	}
 	if failures > 0 {
 		fmt.Printf("%d verification failures\n", failures)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println("all implementations verified end to end")
+	return 0
 }

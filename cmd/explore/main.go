@@ -35,6 +35,7 @@ import (
 	"repro/internal/hgraph"
 	"repro/internal/lint"
 	"repro/internal/models"
+	"repro/internal/profiling"
 	"repro/internal/spec"
 )
 
@@ -52,6 +53,8 @@ type cliFlags struct {
 	timeout         time.Duration
 	checkpoint      string
 	resume          bool
+	cache           string
+	prof            profiling.Flags
 	explicit        map[string]bool
 }
 
@@ -91,10 +94,21 @@ func (f *cliFlags) problems() []string {
 			out = append(out, "-checkpoint is not supported with -objectives or -upgrade-from")
 		}
 	}
+	if f.cache != "on" && f.cache != "off" {
+		out = append(out, "-cache must be on or off")
+	}
+	out = append(out, f.prof.Problems()...)
 	return out
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main minus the exit: returning (instead of os.Exit) lets the
+// deferred profiling teardown flush -cpuprofile/-memprofile/-trace on
+// every path.
+func run() int {
 	specPath := flag.String("spec", "", "path to a specification graph JSON file (- for stdin)")
 	model := flag.String("model", "", "built-in model: settop | decoder | sdr | synthetic")
 	algo := flag.String("algo", "explore", "explorer: explore | exhaustive | random | ea")
@@ -114,12 +128,17 @@ func main() {
 	ckPath := flag.String("checkpoint", "", "periodically write an atomic resume snapshot to this file")
 	ckEvery := flag.Int("checkpoint-every", 64, "candidates between periodic checkpoints")
 	resume := flag.Bool("resume", false, "continue the scan from the -checkpoint snapshot")
+	cache := flag.String("cache", "on", "cross-candidate evaluation caches: on | off (off is the uncached differential/ablation baseline)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	fl := &cliFlags{
 		algo: *algo, model: *model, objectives: *objectives, upgradeFrom: *upgradeFrom,
 		workers: *workers, iters: *iters, checkpointEvery: *ckEvery,
-		timeout: *timeout, checkpoint: *ckPath, resume: *resume,
+		timeout: *timeout, checkpoint: *ckPath, resume: *resume, cache: *cache,
+		prof:     profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath},
 		explicit: map[string]bool{},
 	}
 	flag.Visit(func(f *flag.Flag) { fl.explicit[f.Name] = true })
@@ -127,22 +146,33 @@ func main() {
 		for _, p := range probs {
 			fmt.Fprintln(os.Stderr, "explore:", p)
 		}
-		os.Exit(2)
+		return 2
 	}
+
+	stopProf, err := fl.prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "explore:", err)
+		}
+	}()
 
 	s, err := loadSpec(*specPath, *model, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *lintMode != "off" {
 		if err := lint.Preflight(s, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "explore:", err, "(rerun with -lint=off to explore anyway)")
-			os.Exit(1)
+			return 1
 		}
 	}
 
-	opts := core.Options{Weighted: *weighted, StopAtMaxFlex: *stopMax}
+	opts := core.Options{Weighted: *weighted, StopAtMaxFlex: *stopMax, DisableCache: *cache == "off"}
 	switch *timing {
 	case "paper":
 		opts.Timing = bind.TimingPaper
@@ -154,7 +184,7 @@ func main() {
 		opts.Timing = bind.TimingNone
 	default:
 		fmt.Fprintf(os.Stderr, "explore: unknown timing policy %q\n", *timing)
-		os.Exit(2)
+		return 2
 	}
 
 	// A SIGINT cancels the scan instead of killing the process: the
@@ -170,7 +200,7 @@ func main() {
 
 	if *objectives != "" {
 		runMulti(ctx, s, opts, *objectives)
-		return
+		return 0
 	}
 	if *upgradeFrom != "" {
 		base := spec.Allocation{}
@@ -183,7 +213,7 @@ func main() {
 		r := core.UpgradeContext(ctx, s, base, opts)
 		fmt.Printf("upgrades of %v: %d Pareto-optimal extensions\n\n", base, len(r.Front))
 		fmt.Print(r.FrontTable(s.Problem.Root.ID))
-		return
+		return 0
 	}
 
 	// The exhaustive overrides must be in opts before the checkpoint
@@ -213,12 +243,12 @@ func main() {
 		snap, err := checkpoint.Load(*ckPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "explore:", err)
-			os.Exit(1)
+			return 1
 		}
 		res, err := snap.Resume(s, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "explore:", err)
-			os.Exit(1)
+			return 1
 		}
 		opts.Resume = res
 		fmt.Fprintf(os.Stderr, "explore: resuming %q at candidate %d (%d front entries)\n",
@@ -241,7 +271,7 @@ func main() {
 		r = core.EvolutionaryContext(ctx, s, opts, core.EAConfig{Seed: *seed})
 	default:
 		fmt.Fprintf(os.Stderr, "explore: unknown algorithm %q\n", *algo)
-		os.Exit(2)
+		return 2
 	}
 
 	if writer != nil {
@@ -268,10 +298,10 @@ func main() {
 		data, err := r.MarshalJSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "explore:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(string(data))
-		return
+		return 0
 	}
 	if *tsv {
 		var pts []dot.TradeoffPoint
@@ -296,11 +326,18 @@ func main() {
 		fmt.Printf("implementations      : %d attempted, %d feasible\n", st.Attempted, st.Feasible)
 		fmt.Printf("binding solver       : %d runs, %d nodes, %d behaviours tested\n",
 			st.BindingRuns, st.BindingNodes, st.ECSTested)
+		if c := st.Cache; c != (core.CacheStats{}) {
+			fmt.Printf("flatten cache        : problem %d hits / %d misses, arch %d hits / %d misses\n",
+				c.FlattenHits, c.FlattenMisses, c.ArchFlattenHits, c.ArchFlattenMisses)
+			fmt.Printf("binding memo         : %d reused (%d exact, %d replayed, %d dominated), %d solved, %d supportable-sets reused\n",
+				c.BindHits(), c.BindExactHits, c.BindReplayHits, c.BindInfeasibleHits, c.BindMisses, c.SupportableReused)
+		}
 		fmt.Printf("termination          : %s (cursor %d)\n", r.Reason, r.Cursor)
 		if len(st.Diags) > 0 {
 			fmt.Printf("skipped candidates   : %d (injected faults or recovered panics)\n", len(st.Diags))
 		}
 	}
+	return 0
 }
 
 // resumeArgs reconstructs the flags (minus -resume/-timeout) the user

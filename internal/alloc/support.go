@@ -1,0 +1,179 @@
+package alloc
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/hgraph"
+	"repro/internal/spec"
+)
+
+// Supporter answers SupportableClusters queries over dense bitsets. It
+// precomputes, once per specification, the per-cluster reachability
+// structure that the map-based SupportableClusters rebuilds on every
+// candidate: for each problem cluster the resource sets its vertices
+// can map onto, and the cluster tree in index space. A candidate
+// evaluation then costs two bitset allocations and word-parallel
+// intersection tests instead of several maps — the dominant
+// per-candidate allocation cost of the EXPLORE estimation step.
+//
+// A Supporter is immutable after New and safe for concurrent use.
+type Supporter struct {
+	s *spec.Spec
+	// Clusters indexes the problem-graph clusters; Supportable results
+	// are bitsets over it.
+	Clusters *bitset.Indexer[hgraph.ID]
+	// Resources indexes the architecture-graph leaves; AvailOf results
+	// are bitsets over it.
+	Resources *bitset.Indexer[hgraph.ID]
+
+	// provides maps every architecture leaf and cluster ID to the leaf
+	// resources it contributes when allocated.
+	provides map[hgraph.ID]bitset.Set
+	// nodes holds per problem cluster (by index) the vertex needs and
+	// child clusters.
+	nodes []supportNode
+	root  int
+}
+
+type supportNode struct {
+	cluster *hgraph.Cluster
+	// vertexNeeds has one resource set per own vertex: the resources a
+	// mapping edge can reach. A vertex with no mappings has an empty
+	// set, which never intersects an allocation.
+	vertexNeeds []bitset.Set
+	// ifaces lists, per interface of the cluster, the child cluster
+	// indices.
+	ifaces [][]int
+}
+
+// NewSupporter builds the reachability structure for a specification.
+func NewSupporter(s *spec.Spec) *Supporter {
+	var clusterIDs []hgraph.ID
+	for _, c := range s.Problem.Clusters() {
+		clusterIDs = append(clusterIDs, c.ID)
+	}
+	var resIDs []hgraph.ID
+	for _, v := range s.Arch.Leaves() {
+		resIDs = append(resIDs, v.ID)
+	}
+	sp := &Supporter{
+		s:         s,
+		Clusters:  bitset.NewIndexer(clusterIDs),
+		Resources: bitset.NewIndexer(resIDs),
+		provides:  map[hgraph.ID]bitset.Set{},
+		nodes:     make([]supportNode, len(clusterIDs)),
+	}
+	for _, v := range s.Arch.Leaves() {
+		sp.provides[v.ID] = sp.Resources.SetOf(v.ID)
+	}
+	for _, c := range s.Arch.Clusters() {
+		set := bitset.New(sp.Resources.Len())
+		for _, lv := range s.Arch.LeavesOf(c) {
+			if i, ok := sp.Resources.Index(lv.ID); ok {
+				set.Add(i)
+			}
+		}
+		sp.provides[c.ID] = set
+	}
+	for _, c := range s.Problem.Clusters() {
+		i, _ := sp.Clusters.Index(c.ID)
+		n := supportNode{cluster: c}
+		for _, v := range c.Vertices {
+			need := bitset.New(sp.Resources.Len())
+			for _, m := range s.MappingsFor(v.ID) {
+				if ri, ok := sp.Resources.Index(m.Resource); ok {
+					need.Add(ri)
+				}
+			}
+			n.vertexNeeds = append(n.vertexNeeds, need)
+		}
+		for _, iface := range c.Interfaces {
+			var subs []int
+			for _, sub := range iface.Clusters {
+				if si, ok := sp.Clusters.Index(sub.ID); ok {
+					subs = append(subs, si)
+				}
+			}
+			n.ifaces = append(n.ifaces, subs)
+		}
+		sp.nodes[i] = n
+	}
+	sp.root, _ = sp.Clusters.Index(s.Problem.Root.ID)
+	return sp
+}
+
+// AvailOf returns the allocation's resource closure as a bitset over
+// Resources — Allocation.ResourceSet without the maps.
+func (sp *Supporter) AvailOf(a spec.Allocation) bitset.Set {
+	avail := bitset.New(sp.Resources.Len())
+	for id := range a {
+		if set, ok := sp.provides[id]; ok {
+			avail.UnionWith(set)
+		}
+	}
+	return avail
+}
+
+// Supportable returns the problem clusters that remain activatable when
+// the architecture is restricted to the given resource closure — the
+// bitset counterpart of SupportableClusters, with identical semantics:
+// a cluster is supportable iff each of its own vertices reaches the
+// closure through a mapping edge and each of its interfaces has at
+// least one supportable cluster; the result marks only clusters whose
+// whole ancestor chain is supportable.
+func (sp *Supporter) Supportable(avail bitset.Set) bitset.Set {
+	memo := make([]int8, len(sp.nodes)) // 0 unknown, 1 yes, 2 no
+	var ok func(i int) bool
+	ok = func(i int) bool {
+		if memo[i] != 0 {
+			return memo[i] == 1
+		}
+		n := &sp.nodes[i]
+		res := true
+		for _, need := range n.vertexNeeds {
+			if !need.Intersects(avail) {
+				res = false
+				break
+			}
+		}
+		if res {
+			for _, subs := range n.ifaces {
+				any := false
+				for _, si := range subs {
+					if ok(si) {
+						any = true
+					}
+				}
+				if !any {
+					res = false
+					break
+				}
+			}
+		}
+		if res {
+			memo[i] = 1
+		} else {
+			memo[i] = 2
+		}
+		return res
+	}
+	out := bitset.New(len(sp.nodes))
+	var mark func(i int)
+	mark = func(i int) {
+		if !ok(i) {
+			return
+		}
+		out.Add(i)
+		for _, subs := range sp.nodes[i].ifaces {
+			for _, si := range subs {
+				mark(si)
+			}
+		}
+	}
+	mark(sp.root)
+	return out
+}
+
+// SupportableOf is AvailOf followed by Supportable.
+func (sp *Supporter) SupportableOf(a spec.Allocation) bitset.Set {
+	return sp.Supportable(sp.AvailOf(a))
+}

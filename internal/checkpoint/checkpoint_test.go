@@ -76,7 +76,10 @@ func TestSaveLoadResumeRoundtrip(t *testing.T) {
 	if !frontsEqual(resumed.Front, full.Front) {
 		t.Errorf("resumed-from-disk front differs from uninterrupted run")
 	}
-	if !reflect.DeepEqual(resumed.Stats, full.Stats) {
+	// Compare through Semantic(): the resumed run restarts with a cold
+	// evaluation cache, so solver-effort and cache counters may differ
+	// while the semantic counters continue exactly.
+	if !reflect.DeepEqual(resumed.Stats.Semantic(), full.Stats.Semantic()) {
 		t.Errorf("resumed stats %+v\n  differ from uninterrupted %+v", resumed.Stats, full.Stats)
 	}
 }
@@ -120,6 +123,40 @@ func TestOptionsDigestIgnoresRuntimeHooks(t *testing.T) {
 	}
 	if base == OptionsDigest(core.Options{MaxScan: 10}) {
 		t.Fatal("scan-shaping option not in the digest")
+	}
+}
+
+// TestOptionsDigestIgnoresCacheSwitch: -cache is a runtime/ablation
+// switch with no semantic effect, so flipping it must not invalidate an
+// existing checkpoint.
+func TestOptionsDigestIgnoresCacheSwitch(t *testing.T) {
+	if OptionsDigest(core.Options{}) != OptionsDigest(core.Options{DisableCache: true}) {
+		t.Fatal("DisableCache leaked into the options digest")
+	}
+}
+
+// TestResumeAcrossCacheModes: a snapshot taken by a cached run resumes
+// under -cache=off (and vice versa) and still converges to the
+// uninterrupted front.
+func TestResumeAcrossCacheModes(t *testing.T) {
+	s := models.SetTopBox()
+	full := core.Explore(s, core.Options{})
+	part := interruptedResult(t, 800)
+	snap, err := FromResult(s, core.Options{}, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, disable := range []bool{false, true} {
+		opts := core.Options{DisableCache: disable}
+		res, err := snap.Resume(s, opts)
+		if err != nil {
+			t.Fatalf("DisableCache=%v broke resume: %v", disable, err)
+		}
+		opts.Resume = res
+		resumed := core.Explore(s, opts)
+		if !frontsEqual(resumed.Front, full.Front) {
+			t.Errorf("DisableCache=%v: resumed front differs from uninterrupted run", disable)
+		}
 	}
 }
 

@@ -162,7 +162,12 @@ func TestResumeEquivalence(t *testing.T) {
 			if resumed.Interrupted || resumed.Reason != ReasonCompleted {
 				t.Errorf("resumed run: interrupted=%v reason=%q", resumed.Interrupted, resumed.Reason)
 			}
-			if !reflect.DeepEqual(resumed.Stats, full.Stats) {
+			// Semantic counters (scanned, estimated, attempted,
+			// feasible, ...) continue exactly across the resume; solver
+			// effort and cache counters do not — the resumed run restarts
+			// with a cold evaluation cache, so it redoes binding work the
+			// warm uninterrupted run avoided.
+			if !reflect.DeepEqual(resumed.Stats.Semantic(), full.Stats.Semantic()) {
 				t.Errorf("resumed stats %+v\n  differ from uninterrupted %+v", resumed.Stats, full.Stats)
 			}
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/alloc"
+	"repro/internal/bitset"
 	"repro/internal/pareto"
 	"repro/internal/spec"
 )
@@ -41,6 +42,7 @@ func RandomSearch(s *spec.Spec, opts Options, iters int, seed int64) *Result {
 func RandomSearchContext(ctx context.Context, s *spec.Spec, opts Options, iters int, seed int64) *Result {
 	rng := rand.New(rand.NewSource(seed))
 	units := alloc.Units(s)
+	ev := newEvaluator(s, opts)
 	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	res.Stats.AllocSpace = pow2(len(units))
 	_, _, pc, _ := s.Problem.ElementCount()
@@ -70,7 +72,7 @@ func RandomSearchContext(ctx context.Context, s *spec.Spec, opts Options, iters 
 		}
 		res.Stats.PossibleAllocations++
 		res.Stats.Attempted++
-		if im := Implement(s, a, opts, &res.Stats); im != nil {
+		if im := ev.implement(a, bitset.Set{}, false, &res.Stats); im != nil {
 			res.Stats.Feasible++
 			front.Add(&pareto.Entry{
 				Objectives: pareto.CostFlexObjectives(im.Cost, im.Flexibility),
@@ -78,6 +80,7 @@ func RandomSearchContext(ctx context.Context, s *spec.Spec, opts Options, iters 
 			})
 		}
 	}
+	ev.fold(&res.Stats)
 	res.Front = frontToImplementations(front)
 	return res
 }
@@ -127,6 +130,10 @@ func EvolutionaryContext(ctx context.Context, s *spec.Spec, opts Options, cfg EA
 	units := alloc.Units(s)
 	cfg = cfg.withDefaults(len(units))
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The EA revisits allocations across generations (beyond what its
+	// own genome cache dedups), so the evaluation caches pay off even in
+	// a sampling explorer.
+	ev := newEvaluator(s, opts)
 
 	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	res.Stats.AllocSpace = pow2(len(units))
@@ -158,7 +165,7 @@ func EvolutionaryContext(ctx context.Context, s *spec.Spec, opts Options, cfg EA
 		if alloc.Possible(s, a) {
 			res.Stats.PossibleAllocations++
 			res.Stats.Attempted++
-			if im := Implement(s, a, opts, &res.Stats); im != nil {
+			if im := ev.implement(a, bitset.Set{}, false, &res.Stats); im != nil {
 				res.Stats.Feasible++
 				f = im.Flexibility
 				front.Add(&pareto.Entry{
@@ -204,6 +211,7 @@ func EvolutionaryContext(ctx context.Context, s *spec.Spec, opts Options, cfg EA
 	for gen := 0; gen < cfg.Generations; gen++ {
 		if ctx.Err() != nil {
 			res.Interrupted, res.Reason = true, reasonFor(ctx)
+			ev.fold(&res.Stats)
 			res.Front = frontToImplementations(front)
 			return res
 		}
@@ -240,6 +248,7 @@ func EvolutionaryContext(ctx context.Context, s *spec.Spec, opts Options, cfg EA
 		}
 		evaluate(g)
 	}
+	ev.fold(&res.Stats)
 	res.Front = frontToImplementations(front)
 	return res
 }

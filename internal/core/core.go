@@ -91,6 +91,14 @@ type Options struct {
 	MaxScan int
 	// MaxBindNodes bounds each binding search (0 = unbounded).
 	MaxBindNodes int
+	// DisableCache turns off the cross-candidate evaluation caches
+	// (interned flattenings, binding memoization, bitset sets): every
+	// candidate is then evaluated by the uncached Implement/Estimate
+	// functions. The front and the semantic counters (Stats.Semantic)
+	// are identical either way — caching only removes redundant solver
+	// work — so this is an ablation/verification switch, excluded from
+	// checkpoint option digests like the other runtime fields.
+	DisableCache bool
 
 	// The fields below configure the anytime runtime, not the
 	// exploration semantics: they never change which front a completed
@@ -245,6 +253,62 @@ type Stats struct {
 	// errors, panics recovered by the parallel workers). The failed
 	// candidates are skipped; everything else proceeds.
 	Diags []Diag `json:"diags,omitempty"`
+	// Cache reports the evaluation-cache effectiveness (zero when
+	// Options.DisableCache is set).
+	Cache CacheStats `json:"cache,omitempty"`
+}
+
+// CacheStats counts hits and misses of the candidate-evaluation caches
+// (see internal/core/evaluator.go). Hits measure avoided work: a
+// flatten hit is a graph flattening not recomputed, a bind hit is a
+// solver invocation not run (exact = same inputs seen before, replay =
+// feasible binding replayed under a resource superset, infeasible =
+// skipped by subset dominance), and SupportableReused counts
+// Implement calls that reused the supportable-cluster set computed by
+// the preceding Estimate.
+type CacheStats struct {
+	FlattenHits        int `json:"flattenHits,omitempty"`
+	FlattenMisses      int `json:"flattenMisses,omitempty"`
+	ArchFlattenHits    int `json:"archFlattenHits,omitempty"`
+	ArchFlattenMisses  int `json:"archFlattenMisses,omitempty"`
+	BindExactHits      int `json:"bindExactHits,omitempty"`
+	BindReplayHits     int `json:"bindReplayHits,omitempty"`
+	BindInfeasibleHits int `json:"bindInfeasibleHits,omitempty"`
+	BindMisses         int `json:"bindMisses,omitempty"`
+	SupportableReused  int `json:"supportableReused,omitempty"`
+}
+
+// plus returns the counter-wise sum.
+func (c CacheStats) plus(d CacheStats) CacheStats {
+	c.FlattenHits += d.FlattenHits
+	c.FlattenMisses += d.FlattenMisses
+	c.ArchFlattenHits += d.ArchFlattenHits
+	c.ArchFlattenMisses += d.ArchFlattenMisses
+	c.BindExactHits += d.BindExactHits
+	c.BindReplayHits += d.BindReplayHits
+	c.BindInfeasibleHits += d.BindInfeasibleHits
+	c.BindMisses += d.BindMisses
+	c.SupportableReused += d.SupportableReused
+	return c
+}
+
+// BindHits returns the solver invocations avoided by the binding memo.
+func (c CacheStats) BindHits() int {
+	return c.BindExactHits + c.BindReplayHits + c.BindInfeasibleHits
+}
+
+// Semantic returns the counters that are invariant across cache
+// configuration and resume splitting: what was scanned, estimated,
+// attempted and found feasible. BindingRuns/BindingNodes measure
+// actual solver effort — exactly what caching removes and what a
+// resumed run (cold cache) redoes — and the cache counters measure the
+// caching itself, so both are zeroed. Differential tests compare runs
+// through this view.
+func (s Stats) Semantic() Stats {
+	s.BindingRuns = 0
+	s.BindingNodes = 0
+	s.Cache = CacheStats{}
+	return s
 }
 
 // Result is the outcome of an exploration. Because candidates arrive

@@ -38,6 +38,7 @@ func ExploreContext(ctx context.Context, s *spec.Spec, opts Options) *Result {
 	lastEmit := startCursor
 	res.Cursor = startCursor
 
+	ev := newEvaluator(s, opts)
 	_, _, pc, _ := s.Problem.ElementCount()
 	aStats := alloc.Enumerate(s, alloc.Options{
 		IncludeUselessComm: opts.IncludeUselessComm,
@@ -55,6 +56,7 @@ func ExploreContext(ctx context.Context, s *spec.Spec, opts Options) *Result {
 			return false
 		}
 		if opts.Progress != nil && idx-lastEmit >= opts.progressEvery() {
+			ev.fold(&res.Stats)
 			opts.Progress(Progress{
 				Cursor:         idx,
 				BestFlex:       fcur,
@@ -79,7 +81,7 @@ func ExploreContext(ctx context.Context, s *spec.Spec, opts Options) *Result {
 			return false
 		}
 		res.Stats.Estimated++
-		est := Estimate(s, c.Allocation, opts)
+		est, sup, haveSup := ev.estimate(c.Allocation)
 		if !opts.DisableFlexBound && est <= fcur {
 			idx++
 			res.Cursor = idx
@@ -95,7 +97,7 @@ func ExploreContext(ctx context.Context, s *spec.Spec, opts Options) *Result {
 			return true
 		}
 		res.Stats.Attempted++
-		im := Implement(s, c.Allocation, opts, &res.Stats)
+		im := ev.implement(c.Allocation, sup, haveSup, &res.Stats)
 		if im != nil {
 			res.Stats.Feasible++
 			if front.Add(&pareto.Entry{
@@ -113,6 +115,7 @@ func ExploreContext(ctx context.Context, s *spec.Spec, opts Options) *Result {
 		}
 		return true
 	})
+	ev.fold(&res.Stats)
 	finishResult(res, aStats, pc, opts)
 	res.Front = frontToImplementations(front)
 	return res

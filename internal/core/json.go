@@ -32,16 +32,17 @@ type jsonBehaviour struct {
 }
 
 type jsonStats struct {
-	DesignSpace         float64 `json:"designSpace"`
-	AllocSpace          float64 `json:"allocSpace"`
-	Scanned             int     `json:"scanned"`
-	PossibleAllocations int     `json:"possibleAllocations"`
-	Attempted           int     `json:"attempted"`
-	Feasible            int     `json:"feasible"`
-	ECSTested           int     `json:"ecsTested"`
-	BindingRuns         int     `json:"bindingRuns"`
-	BindingNodes        int     `json:"bindingNodes"`
-	Diags               []Diag  `json:"diags,omitempty"`
+	DesignSpace         float64    `json:"designSpace"`
+	AllocSpace          float64    `json:"allocSpace"`
+	Scanned             int        `json:"scanned"`
+	PossibleAllocations int        `json:"possibleAllocations"`
+	Attempted           int        `json:"attempted"`
+	Feasible            int        `json:"feasible"`
+	ECSTested           int        `json:"ecsTested"`
+	BindingRuns         int        `json:"bindingRuns"`
+	BindingNodes        int        `json:"bindingNodes"`
+	Cache               CacheStats `json:"cache"`
+	Diags               []Diag     `json:"diags,omitempty"`
 }
 
 // MarshalJSON encodes the result — front, per-implementation behaviours
@@ -62,6 +63,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 			ECSTested:           r.Stats.ECSTested,
 			BindingRuns:         r.Stats.BindingRuns,
 			BindingNodes:        r.Stats.BindingNodes,
+			Cache:               r.Stats.Cache,
 			Diags:               r.Stats.Diags,
 		},
 	}

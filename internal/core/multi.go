@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/bind"
+	"repro/internal/bitset"
 	"repro/internal/pareto"
 	"repro/internal/spec"
 )
@@ -149,6 +150,7 @@ func ExploreMultiContext(ctx context.Context, s *spec.Spec, opts Options, object
 		res.Names = append(res.Names, o.Name)
 	}
 	front := &pareto.Front{}
+	ev := newEvaluator(s, opts)
 	_, _, pc, _ := s.Problem.ElementCount()
 	aStats := alloc.Enumerate(s, alloc.Options{
 		IncludeUselessComm: opts.IncludeUselessComm,
@@ -173,7 +175,7 @@ func ExploreMultiContext(ctx context.Context, s *spec.Spec, opts Options, object
 			}
 		}
 		res.Stats.Attempted++
-		im := Implement(s, c.Allocation, opts, &res.Stats)
+		im := ev.implement(c.Allocation, bitset.Set{}, false, &res.Stats)
 		if im == nil {
 			return true
 		}
@@ -185,6 +187,7 @@ func ExploreMultiContext(ctx context.Context, s *spec.Spec, opts Options, object
 		front.Add(&pareto.Entry{Objectives: vec, Value: im})
 		return true
 	})
+	ev.fold(&res.Stats)
 	res.Stats.Scanned = aStats.Scanned
 	res.Stats.AllocSpace = aStats.SearchSpace
 	res.Stats.DesignSpace = aStats.SearchSpace * pow2(pc)

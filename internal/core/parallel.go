@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/alloc"
+	"repro/internal/bitset"
 	"repro/internal/pareto"
 	"repro/internal/spec"
 )
@@ -59,6 +60,11 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 	// Warm the lazy indexes of the specification before concurrent use.
 	_ = Estimate(s, spec.Allocation{}, opts)
 
+	// One evaluator, shared by all workers: its caches are sharded and
+	// mutex-striped, so a binding proved (in)feasible by one worker is
+	// reused by every other.
+	ev := newEvaluator(s, opts)
+
 	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	front := &pareto.Front{}
 	fcur, startCursor := seedResume(res, front, opts.Resume)
@@ -71,6 +77,8 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 		alloc     spec.Allocation
 		site      string
 		est       float64
+		sup       bitset.Set
+		haveSup   bool
 		estimated bool
 		attempted bool
 		cancelled bool
@@ -125,7 +133,7 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 					return
 				}
 				j.estimated = true
-				j.est = Estimate(s, j.alloc, opts)
+				j.est, j.sup, j.haveSup = ev.estimate(j.alloc)
 				if !opts.DisableFlexBound && j.est <= bound {
 					return
 				}
@@ -138,7 +146,7 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 					return
 				}
 				j.attempted = true
-				j.impl = Implement(s, j.alloc, opts, &j.stats)
+				j.impl = ev.implement(j.alloc, j.sup, j.haveSup, &j.stats)
 			}(j)
 		}
 		wg.Wait()
@@ -224,6 +232,7 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 				return false
 			}
 			if opts.Progress != nil && res.Cursor-lastEmit >= opts.progressEvery() {
+				ev.fold(&res.Stats)
 				opts.Progress(Progress{
 					Cursor:         res.Cursor,
 					BestFlex:       fcur,
@@ -240,6 +249,7 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 	// cancellation on res (previously the return value — and with it
 	// the termination reason — was silently discarded here).
 	flush()
+	ev.fold(&res.Stats)
 	finishResult(res, aStats, pc, opts)
 	res.Front = frontToImplementations(front)
 	return res

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/alloc"
+	"repro/internal/bitset"
 	"repro/internal/pareto"
 	"repro/internal/spec"
 )
@@ -29,8 +30,9 @@ func Upgrade(s *spec.Spec, base spec.Allocation, opts Options) *Result {
 func UpgradeContext(ctx context.Context, s *spec.Spec, base spec.Allocation, opts Options) *Result {
 	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	front := &pareto.Front{}
+	ev := newEvaluator(s, opts)
 
-	baseImpl := Implement(s, base, opts, &res.Stats)
+	baseImpl := ev.implement(base, bitset.Set{}, false, &res.Stats)
 	fcur := 0.0
 	if baseImpl != nil {
 		fcur = baseImpl.Flexibility
@@ -49,12 +51,12 @@ func UpgradeContext(ctx context.Context, s *spec.Spec, base spec.Allocation, opt
 		res.Stats.PossibleAllocations++
 		res.Cursor++
 		res.Stats.Estimated++
-		est := Estimate(s, c.Allocation, opts)
+		est, sup, haveSup := ev.estimate(c.Allocation)
 		if !opts.DisableFlexBound && est <= fcur {
 			return true
 		}
 		res.Stats.Attempted++
-		im := Implement(s, c.Allocation, opts, &res.Stats)
+		im := ev.implement(c.Allocation, sup, haveSup, &res.Stats)
 		if im == nil || im.Flexibility <= baseFlex {
 			return true
 		}
@@ -71,6 +73,7 @@ func UpgradeContext(ctx context.Context, s *spec.Spec, base spec.Allocation, opt
 		}
 		return true
 	})
+	ev.fold(&res.Stats)
 	finishResult(res, aStats, pc, opts)
 	res.Front = frontToImplementations(front)
 	return res

@@ -49,7 +49,14 @@ func (e ECS) String() string {
 // activatable for any ecs to exist). Enumeration stops when fn returns
 // false. The ECS passed to fn owns its selection (safe to retain).
 func Enumerate(g *hgraph.Graph, activatable map[hgraph.ID]bool, fn func(ECS) bool) {
-	if !activatable[g.Root.ID] {
+	EnumerateFunc(g, func(id hgraph.ID) bool { return activatable[id] }, fn)
+}
+
+// EnumerateFunc is Enumerate with the activatable set given as a
+// predicate, so callers holding the set in another representation (e.g.
+// a bitset) need not materialize a map per candidate.
+func EnumerateFunc(g *hgraph.Graph, activatable func(hgraph.ID) bool, fn func(ECS) bool) {
+	if !activatable(g.Root.ID) {
 		return
 	}
 	sel := hgraph.Selection{}
@@ -64,7 +71,7 @@ func Enumerate(g *hgraph.Graph, activatable map[hgraph.ID]bool, fn func(ECS) boo
 		}
 		i := ifs[k]
 		for _, sub := range i.Clusters {
-			if !activatable[sub.ID] {
+			if !activatable(sub.ID) {
 				continue
 			}
 			sel[i.ID] = sub.ID

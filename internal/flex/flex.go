@@ -17,6 +17,7 @@
 package flex
 
 import (
+	"repro/internal/bitset"
 	"repro/internal/hgraph"
 	"repro/internal/spec"
 )
@@ -33,6 +34,16 @@ func AllActive(hgraph.ID) bool { return true }
 // FromSet adapts a set of activatable cluster IDs to an Activation.
 func FromSet(active map[hgraph.ID]bool) Activation {
 	return func(id hgraph.ID) bool { return active[id] }
+}
+
+// FromBits adapts a dense cluster set (indexed by ix) to an
+// Activation. It is the allocation-free counterpart of FromSet used on
+// the exploration hot path.
+func FromBits(set bitset.Set, ix *bitset.Indexer[hgraph.ID]) Activation {
+	return func(id hgraph.ID) bool {
+		i, ok := ix.Index(id)
+		return ok && set.Has(i)
+	}
 }
 
 // Except returns an activation that is act minus the listed clusters.
@@ -159,6 +170,60 @@ func ActivatableClusters(g *hgraph.Graph, act Activation) map[hgraph.ID]bool {
 		out[c.ID] = true
 		for _, i := range c.Interfaces {
 			for _, sub := range i.Clusters {
+				mark(sub)
+			}
+		}
+	}
+	mark(g.Root)
+	return out
+}
+
+// ActivatableSet is ActivatableClusters over dense bitsets: the
+// activation a⁺ is the cluster set act (indexed by ix, which must index
+// every cluster of g) and the result is the effectively activatable
+// set under the hierarchical activation rules, in the same index space.
+// A slice memo replaces the map memo, so one exploration candidate
+// costs two small allocations instead of two maps.
+func ActivatableSet(g *hgraph.Graph, act bitset.Set, ix *bitset.Indexer[hgraph.ID]) bitset.Set {
+	out := bitset.New(ix.Len())
+	memo := make([]int8, ix.Len()) // 0 unknown, 1 activatable, 2 not
+	var ok func(c *hgraph.Cluster) bool
+	ok = func(c *hgraph.Cluster) bool {
+		i, _ := ix.Index(c.ID)
+		if memo[i] != 0 {
+			return memo[i] == 1
+		}
+		res := act.Has(i)
+		if res {
+			for _, iface := range c.Interfaces {
+				any := false
+				for _, sub := range iface.Clusters {
+					if ok(sub) {
+						any = true
+					}
+				}
+				if !any {
+					res = false
+					break
+				}
+			}
+		}
+		if res {
+			memo[i] = 1
+		} else {
+			memo[i] = 2
+		}
+		return res
+	}
+	var mark func(c *hgraph.Cluster)
+	mark = func(c *hgraph.Cluster) {
+		if !ok(c) {
+			return
+		}
+		i, _ := ix.Index(c.ID)
+		out.Add(i)
+		for _, iface := range c.Interfaces {
+			for _, sub := range iface.Clusters {
 				mark(sub)
 			}
 		}

@@ -219,10 +219,19 @@ func (s *Spec) ArchViewFor(a Allocation, archSel hgraph.Selection) (*ArchView, e
 	if err != nil {
 		return nil, fmt.Errorf("spec %q: flatten architecture: %w", s.Name, err)
 	}
-	present := map[hgraph.ID]bool{}
 	avail := a.ResourceSet(s)
+	return s.ArchViewFromFlat(fg, func(id hgraph.ID) bool { return avail[id] }, archSel), nil
+}
+
+// ArchViewFromFlat builds the architecture view from an already
+// flattened architecture configuration, restricting it to the resources
+// for which avail holds. It lets callers that evaluate many allocations
+// under the same configuration (the exploration hot path) intern the
+// FlattenPartial result instead of recomputing it per candidate.
+func (s *Spec) ArchViewFromFlat(fg *hgraph.FlatGraph, avail func(hgraph.ID) bool, archSel hgraph.Selection) *ArchView {
+	present := map[hgraph.ID]bool{}
 	for _, v := range fg.Vertices {
-		if avail[v.ID] {
+		if avail(v.ID) {
 			present[v.ID] = true
 		}
 	}
@@ -244,7 +253,7 @@ func (s *Spec) ArchViewFor(a Allocation, archSel hgraph.Selection) (*ArchView, e
 		link(e.From, e.To)
 		link(e.To, e.From)
 	}
-	return av, nil
+	return av
 }
 
 // Present reports whether a resource exists in this view.

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Benchmark the EXPLORE hot path — allocation enumeration (E2), spec
+# assembly (E5), and the cached-vs-uncached candidate evaluation
+# (BenchmarkExploreSynthetic and the other Explore benchmarks) — and
+# aggregate the numbers (ns/op, B/op, allocs/op, cache hit rates,
+# binding-run counts) into BENCH_explore.json.
+#
+# Usage: scripts/bench.sh [count]    # default 5 repetitions
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+count="${1:-5}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'E2|E5|Explore' -benchmem -count "$count" . | tee "$raw"
+
+awk -v count="$count" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    if (!(name in seen)) { order[++nb] = name; seen[name] = 1 }
+    runs[name] += $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        u = $(i + 1); k = name SUBSEP u
+        if (!(k in has)) {
+            has[k] = 1
+            units[name] = units[name] == "" ? u : units[name] "\t" u
+        }
+        sum[k] += $i; cnt[k]++
+    }
+}
+END {
+    printf "{\n  \"count\": %d,\n  \"benchmarks\": [\n", count
+    for (b = 1; b <= nb; b++) {
+        name = order[b]
+        printf "    {\"name\": \"%s\", \"iterations\": %d", name, runs[name]
+        m = split(units[name], us, "\t")
+        for (j = 1; j <= m; j++) {
+            u = us[j]; k = name SUBSEP u
+            printf ", \"%s\": %.6g", u, sum[k] / cnt[k]
+        }
+        printf "}%s\n", (b < nb ? "," : "")
+    }
+    print "  ]"
+    print "}"
+}' "$raw" > BENCH_explore.json
+
+echo "wrote BENCH_explore.json"

@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/alloc"
@@ -442,6 +443,57 @@ func BenchmarkExploreSynthetic(b *testing.B) {
 			}
 		})
 	}
+	// Worker-count variants of the same run through the pipelined
+	// explorer (workers-1 routes to the sequential path). The front and
+	// the semantic stats are identical across all of them — the variants
+	// measure the ordered-commit pipeline's scaling, and the stall /
+	// high-water gauges record how hard the commit stage had to reorder.
+	// "workers=N", not "workers-N": bench.sh strips a trailing -N as the
+	// GOMAXPROCS suffix, which would swallow a hyphenated worker count.
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := models.Synthetic(p)
+			var st core.Stats
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st = core.ExploreParallel(s, core.Options{
+					DisableFlexBound: true, MaxScan: 50000,
+				}, w, 0).Stats
+			}
+			b.ReportMetric(float64(st.BindingRuns), "binding_runs")
+			if w > 1 {
+				b.ReportMetric(float64(st.Pipeline.CommitStalls), "commit_stalls")
+				b.ReportMetric(float64(st.Pipeline.QueueHighWater), "queue_high_water")
+			}
+		})
+	}
+}
+
+// BenchmarkEnumerateSynthetic — the bitset-native allocation scan: the
+// subset heap carries pooled index slices and unit bitsets, the
+// useless-comm and supportability tests run on machine words, and no
+// per-subset map is built — an Allocation map is materialized only for
+// the emitted (possible) candidates. allocs/op is the acceptance
+// metric: it scales with possible candidates, not with scanned subsets.
+func BenchmarkEnumerateSynthetic(b *testing.B) {
+	p := models.SyntheticParams{Seed: 11, Apps: 3, Depth: 1, Branch: 3,
+		Vertices: 2, Processors: 2, ASICs: 3, Designs: 3, Buses: 6,
+		TimedFraction: 0.4, AccelOnlyFraction: 0.3}
+	s := models.Synthetic(p)
+	var scanned, possible int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		possible = 0
+		st := alloc.Enumerate(s, alloc.Options{MaxScan: 50000}, func(alloc.Candidate) bool {
+			possible++
+			return true
+		})
+		scanned = st.Scanned
+	}
+	b.ReportMetric(float64(scanned), "scanned")
+	b.ReportMetric(float64(possible), "possible_allocs")
 }
 
 // BenchmarkE16_TriObjective — §4's "many different design objectives":

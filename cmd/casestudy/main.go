@@ -19,6 +19,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/activation"
 	"repro/internal/bind"
@@ -105,6 +106,7 @@ func run() int {
 	ckEvery := flag.Int("checkpoint-every", 64, "candidates between periodic checkpoints")
 	resume := flag.Bool("resume", false, "continue from the -checkpoint snapshot (default run only)")
 	cache := flag.String("cache", "on", "cross-candidate evaluation caches: on | off (off is the uncached differential/ablation baseline)")
+	workers := flag.Int("workers", 1, "parallel exploration workers for the default run (0 = GOMAXPROCS); the front is identical to sequential")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -128,6 +130,14 @@ func run() int {
 	}
 	if *cache != "on" && *cache != "off" {
 		fmt.Fprintln(os.Stderr, "casestudy: -cache must be on or off")
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "casestudy: -workers must be >= 0 (0 selects GOMAXPROCS)")
+		return 2
+	}
+	if *workers != 1 && (*table1 || *tradeoff || *compare || *verify || *family) {
+		fmt.Fprintln(os.Stderr, "casestudy: -workers only applies to the default Pareto run")
 		return 2
 	}
 	prof := profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath}
@@ -214,7 +224,12 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "casestudy: resuming at candidate %d (%d front entries)\n",
 				snap.Cursor, len(snap.Front))
 		}
-		r := core.ExploreContext(ctx, s, opts)
+		var r *core.Result
+		if *workers != 1 {
+			r = core.ExploreParallelContext(ctx, s, opts, *workers, 0)
+		} else {
+			r = core.ExploreContext(ctx, s, opts)
+		}
 		if writer != nil {
 			snap, err := checkpoint.FromResult(s, opts, r)
 			if err == nil {
@@ -247,6 +262,11 @@ func run() int {
 		if c := st.Cache; c != (core.CacheStats{}) {
 			fmt.Printf("evaluation caches   : %d bindings reused / %d solved, flatten %d/%d hits (problem/arch)\n",
 				c.BindHits(), c.BindMisses, c.FlattenHits, c.ArchFlattenHits)
+		}
+		if p := st.Pipeline; p != (core.PipelineStats{}) {
+			fmt.Printf("parallel pipeline   : %d workers, queue %d (high water %d), %d commit stalls, %s busy\n",
+				p.Workers, p.QueueDepth, p.QueueHighWater, p.CommitStalls,
+				time.Duration(p.BusyNanos).Round(time.Millisecond))
 		}
 		fmt.Printf("maximum flexibility : %g\n", r.MaxFlexibility)
 	}

@@ -332,6 +332,11 @@ func run() int {
 			fmt.Printf("binding memo         : %d reused (%d exact, %d replayed, %d dominated), %d solved, %d supportable-sets reused\n",
 				c.BindHits(), c.BindExactHits, c.BindReplayHits, c.BindInfeasibleHits, c.BindMisses, c.SupportableReused)
 		}
+		if p := st.Pipeline; p != (core.PipelineStats{}) {
+			fmt.Printf("parallel pipeline    : %d workers, queue %d (high water %d), %d commit stalls, %s busy\n",
+				p.Workers, p.QueueDepth, p.QueueHighWater, p.CommitStalls,
+				time.Duration(p.BusyNanos).Round(time.Millisecond))
+		}
 		fmt.Printf("termination          : %s (cursor %d)\n", r.Reason, r.Cursor)
 		if len(st.Diags) > 0 {
 			fmt.Printf("skipped candidates   : %d (injected faults or recovered panics)\n", len(st.Diags))

@@ -20,7 +20,9 @@ package alloc
 import (
 	"container/heap"
 	"sort"
+	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/hgraph"
 	"repro/internal/spec"
 )
@@ -177,20 +179,99 @@ type Candidate struct {
 // Enumerate generates possible resource allocations in nondecreasing
 // cost order and passes each to fn until fn returns false or the space
 // is exhausted. It returns enumeration statistics.
+//
+// The scan is bitset-native: each heap node carries the subset both as
+// the ascending unit-index slice that drives the deterministic
+// equal-cost tie-break and as a dense bitset over the unit universe,
+// and nodes (slice and bitset included) are recycled through a
+// sync.Pool. The useless-bus rule and the possibility test (rule 4:
+// root supportability) run word-parallel against a per-call Supporter,
+// so no map is allocated for a scanned subset — the map-backed
+// spec.Allocation is materialized only for candidates actually emitted,
+// and the callback owns that map.
 func Enumerate(s *spec.Spec, opts Options, fn func(Candidate) bool) Stats {
 	units := Units(s)
-	stats := Stats{SearchSpace: pow2(len(units))}
-	commAdj := commAdjacency(s, units)
+	n := len(units)
+	stats := Stats{SearchSpace: SearchSpace(n)}
+
+	sup := NewSupporter(s)
+	// unitRes[k]: leaf resources unit k provides. commAdjBits[k]: for a
+	// bus unit, the unit indices it touches (nil for functional units).
+	unitRes := make([]bitset.Set, n)
+	commAdjBits := make([]bitset.Set, n)
+	pos := make(map[hgraph.ID]int, n)
+	for k, u := range units {
+		pos[u.ID] = k
+	}
+	adj := commAdjacency(s, units)
+	for k, u := range units {
+		unitRes[k] = sup.provides[u.ID]
+		if u.Comm {
+			bs := bitset.New(n)
+			for other := range adj[u.ID] {
+				bs.Add(pos[other])
+			}
+			commAdjBits[k] = bs
+		}
+	}
+
+	// Scratch state for the possibility test, reused across candidates.
+	memo := make([]int8, sup.Clusters.Len())
+	avail := bitset.New(sup.Resources.Len())
+	rootSupportable := func(idx []int) bool {
+		avail.Clear()
+		for _, k := range idx {
+			avail.UnionWith(unitRes[k])
+		}
+		for i := range memo {
+			memo[i] = 0
+		}
+		return sup.supportableFrom(sup.root, avail, memo)
+	}
+	uselessComm := func(cur *subset) bool {
+		for _, k := range cur.idx {
+			if units[k].Comm && commAdjBits[k].IntersectionCount(cur.bits) < 2 {
+				return true
+			}
+		}
+		return false
+	}
+
+	pool := sync.Pool{New: func() any { return &subset{bits: bitset.New(n)} }}
+	// child derives a heap node from cur: extend appends unit m+1,
+	// replace swaps the last unit m for m+1 (each subset generated
+	// exactly once, as before).
+	child := func(cur *subset, replace bool) *subset {
+		m := cur.idx[len(cur.idx)-1]
+		c := pool.Get().(*subset)
+		c.idx = append(c.idx[:0], cur.idx...)
+		c.bits.Clear()
+		c.bits.UnionWith(cur.bits)
+		if replace {
+			c.idx[len(c.idx)-1] = m + 1
+			c.bits.Remove(m)
+			c.cost = cur.cost - units[m].Cost + units[m+1].Cost
+		} else {
+			c.idx = append(c.idx, m+1)
+			c.cost = cur.cost + units[m+1].Cost
+		}
+		c.bits.Add(m + 1)
+		return c
+	}
 
 	h := &subsetHeap{}
-	heap.Init(h)
-	if len(units) > 0 {
-		heap.Push(h, subset{cost: units[0].Cost, idx: []int{0}})
+	if n > 0 {
+		first := pool.Get().(*subset)
+		first.cost = units[0].Cost
+		first.idx = append(first.idx[:0], 0)
+		first.bits.Clear()
+		first.bits.Add(0)
+		heap.Push(h, first)
 	}
 	// The empty allocation is scanned first (never possible for a
 	// problem graph with vertices, but counted for fidelity).
 	stats.Scanned++
-	if emptyPossible(s) {
+	if rootSupportable(nil) {
 		stats.Possible++
 		if !fn(Candidate{Allocation: spec.Allocation{}, Cost: 0}) {
 			return stats
@@ -200,31 +281,28 @@ func Enumerate(s *spec.Spec, opts Options, fn func(Candidate) bool) Stats {
 		if opts.MaxScan > 0 && stats.Scanned >= opts.MaxScan {
 			break
 		}
-		cur := heap.Pop(h).(subset)
+		cur := heap.Pop(h).(*subset)
 		stats.Scanned++
-		m := cur.idx[len(cur.idx)-1]
-		if m+1 < len(units) {
-			ext := append(append([]int(nil), cur.idx...), m+1)
-			heap.Push(h, subset{cost: cur.cost + units[m+1].Cost, idx: ext})
-			rep := append([]int(nil), cur.idx...)
-			rep[len(rep)-1] = m + 1
-			heap.Push(h, subset{cost: cur.cost - units[m].Cost + units[m+1].Cost, idx: rep})
+		if m := cur.idx[len(cur.idx)-1]; m+1 < n {
+			heap.Push(h, child(cur, false))
+			heap.Push(h, child(cur, true))
 		}
-		a := spec.Allocation{}
-		for _, k := range cur.idx {
-			a[units[k].ID] = true
-		}
-		if !opts.IncludeUselessComm && hasUselessComm(units, cur.idx, a, commAdj) {
+		switch {
+		case !opts.IncludeUselessComm && uselessComm(cur):
 			stats.PrunedComm++
-			continue
+		case !rootSupportable(cur.idx):
+		default:
+			stats.Possible++
+			a := make(spec.Allocation, len(cur.idx))
+			for _, k := range cur.idx {
+				a[units[k].ID] = true
+			}
+			if !fn(Candidate{Allocation: a, Cost: cur.cost}) {
+				pool.Put(cur)
+				return stats
+			}
 		}
-		if !Possible(s, a) {
-			continue
-		}
-		stats.Possible++
-		if !fn(Candidate{Allocation: a, Cost: cur.cost}) {
-			break
-		}
+		pool.Put(cur)
 	}
 	return stats
 }
@@ -240,11 +318,11 @@ func All(s *spec.Spec, opts Options) ([]Candidate, Stats) {
 	return out, stats
 }
 
-func emptyPossible(s *spec.Spec) bool {
-	return Possible(s, spec.Allocation{})
-}
-
-func pow2(n int) float64 {
+// SearchSpace returns 2^n as a float64: the size of an n-element subset
+// space. It is the one search-space helper shared by the allocation
+// enumerators and the exploration statistics (which multiply further
+// per-element choices on top for the full design space).
+func SearchSpace(n int) float64 {
 	out := 1.0
 	for i := 0; i < n; i++ {
 		out *= 2
@@ -252,13 +330,16 @@ func pow2(n int) float64 {
 	return out
 }
 
-// subset is a heap node: unit indices (sorted ascending) and total cost.
+// subset is a heap node: unit indices (sorted ascending), the same
+// subset as a dense bitset over the unit universe (nil on the extension
+// enumerator's nodes, which never consult it), and total cost.
 type subset struct {
 	cost float64
 	idx  []int
+	bits bitset.Set
 }
 
-type subsetHeap []subset
+type subsetHeap []*subset
 
 func (h subsetHeap) Len() int { return len(h) }
 
@@ -281,8 +362,15 @@ func (h subsetHeap) Less(i, j int) bool {
 	return len(a) > len(b)
 }
 func (h subsetHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *subsetHeap) Push(x any)   { *h = append(*h, x.(subset)) }
-func (h *subsetHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *subsetHeap) Push(x any)   { *h = append(*h, x.(*subset)) }
+func (h *subsetHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
 
 // commAdjacency maps each top-level communication vertex to the set of
 // unit IDs it touches in the architecture graph (interface endpoints

@@ -298,3 +298,49 @@ func BenchmarkPossible(b *testing.B) {
 		}
 	}
 }
+
+// TestEnumerateAgainstBruteForce: the bitset-native possibility and
+// useless-bus tests inside Enumerate agree with the exported map-based
+// references (Possible, hasUselessComm) on every one of the 2^n unit
+// subsets of the Fig. 2 model, with and without the bus pruning — the
+// two code paths may never drift apart.
+func TestEnumerateAgainstBruteForce(t *testing.T) {
+	s := buildFig2(t)
+	units := Units(s)
+	adj := commAdjacency(s, units)
+	for _, include := range []bool{true, false} {
+		want := map[string]float64{}
+		for mask := 0; mask < 1<<len(units); mask++ {
+			a := spec.Allocation{}
+			var idx []int
+			cost := 0.0
+			for k, u := range units {
+				if mask>>k&1 == 1 {
+					a[u.ID] = true
+					idx = append(idx, k)
+					cost += u.Cost
+				}
+			}
+			if !include && hasUselessComm(units, idx, a, adj) {
+				continue
+			}
+			if Possible(s, a) {
+				want[a.String()] = cost
+			}
+		}
+		got := map[string]float64{}
+		Enumerate(s, Options{IncludeUselessComm: include}, func(c Candidate) bool {
+			got[c.Allocation.String()] = c.Cost
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("include=%v: enumerated %d candidates, brute force says %d",
+				include, len(got), len(want))
+		}
+		for k, cost := range want {
+			if gc, ok := got[k]; !ok || gc != cost {
+				t.Errorf("include=%v: %s missing or cost %v != %v", include, k, gc, cost)
+			}
+		}
+	}
+}

@@ -22,7 +22,7 @@ func EnumerateExtensions(s *spec.Spec, base spec.Allocation, opts Options, fn fu
 			units = append(units, u)
 		}
 	}
-	stats := Stats{SearchSpace: pow2(len(units))}
+	stats := Stats{SearchSpace: SearchSpace(len(units))}
 	commAdj := commAdjacency(s, all)
 
 	emit := func(extra []int, cost float64) bool {
@@ -56,20 +56,20 @@ func EnumerateExtensions(s *spec.Spec, base spec.Allocation, opts Options, fn fu
 	h := &subsetHeap{}
 	heap.Init(h)
 	if len(units) > 0 {
-		heap.Push(h, subset{cost: units[0].Cost, idx: []int{0}})
+		heap.Push(h, &subset{cost: units[0].Cost, idx: []int{0}})
 	}
 	for h.Len() > 0 {
 		if opts.MaxScan > 0 && stats.Scanned >= opts.MaxScan {
 			break
 		}
-		cur := heap.Pop(h).(subset)
+		cur := heap.Pop(h).(*subset)
 		m := cur.idx[len(cur.idx)-1]
 		if m+1 < len(units) {
 			ext := append(append([]int(nil), cur.idx...), m+1)
-			heap.Push(h, subset{cost: cur.cost + units[m+1].Cost, idx: ext})
+			heap.Push(h, &subset{cost: cur.cost + units[m+1].Cost, idx: ext})
 			rep := append([]int(nil), cur.idx...)
 			rep[len(rep)-1] = m + 1
-			heap.Push(h, subset{cost: cur.cost - units[m].Cost + units[m+1].Cost, idx: rep})
+			heap.Push(h, &subset{cost: cur.cost - units[m].Cost + units[m+1].Cost, idx: rep})
 		}
 		if !emit(cur.idx, baseCost+cur.cost) {
 			break

@@ -121,45 +121,11 @@ func (sp *Supporter) AvailOf(a spec.Allocation) bitset.Set {
 // least one supportable cluster; the result marks only clusters whose
 // whole ancestor chain is supportable.
 func (sp *Supporter) Supportable(avail bitset.Set) bitset.Set {
-	memo := make([]int8, len(sp.nodes)) // 0 unknown, 1 yes, 2 no
-	var ok func(i int) bool
-	ok = func(i int) bool {
-		if memo[i] != 0 {
-			return memo[i] == 1
-		}
-		n := &sp.nodes[i]
-		res := true
-		for _, need := range n.vertexNeeds {
-			if !need.Intersects(avail) {
-				res = false
-				break
-			}
-		}
-		if res {
-			for _, subs := range n.ifaces {
-				any := false
-				for _, si := range subs {
-					if ok(si) {
-						any = true
-					}
-				}
-				if !any {
-					res = false
-					break
-				}
-			}
-		}
-		if res {
-			memo[i] = 1
-		} else {
-			memo[i] = 2
-		}
-		return res
-	}
+	memo := make([]int8, len(sp.nodes))
 	out := bitset.New(len(sp.nodes))
 	var mark func(i int)
 	mark = func(i int) {
-		if !ok(i) {
+		if !sp.supportableFrom(i, avail, memo) {
 			return
 		}
 		out.Add(i)
@@ -171,6 +137,47 @@ func (sp *Supporter) Supportable(avail bitset.Set) bitset.Set {
 	}
 	mark(sp.root)
 	return out
+}
+
+// supportableFrom reports whether the cluster at index i is supportable
+// under the resource closure avail. memo holds one entry per cluster
+// (0 unknown, 1 yes, 2 no) and must be zeroed between closures; callers
+// that test many closures (the enumeration's possibility check) reuse
+// one slice instead of allocating per candidate. Testing only the root
+// — rule 4's possibility criterion — skips the marking pass that
+// Supportable adds on top.
+func (sp *Supporter) supportableFrom(i int, avail bitset.Set, memo []int8) bool {
+	if memo[i] != 0 {
+		return memo[i] == 1
+	}
+	n := &sp.nodes[i]
+	res := true
+	for _, need := range n.vertexNeeds {
+		if !need.Intersects(avail) {
+			res = false
+			break
+		}
+	}
+	if res {
+		for _, subs := range n.ifaces {
+			any := false
+			for _, si := range subs {
+				if sp.supportableFrom(si, avail, memo) {
+					any = true
+				}
+			}
+			if !any {
+				res = false
+				break
+			}
+		}
+	}
+	if res {
+		memo[i] = 1
+	} else {
+		memo[i] = 2
+	}
+	return res
 }
 
 // SupportableOf is AvailOf followed by Supportable.

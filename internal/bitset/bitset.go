@@ -106,6 +106,20 @@ func (s Set) SubsetOf(t Set) bool {
 	return true
 }
 
+// IntersectionCount returns |s ∩ t| without materializing the
+// intersection.
+func (s Set) IntersectionCount(t Set) int {
+	n := len(s.w)
+	if len(t.w) < n {
+		n = len(t.w)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.w[i] & t.w[i])
+	}
+	return c
+}
+
 // Intersects reports whether s ∩ t is non-empty.
 func (s Set) Intersects(t Set) bool {
 	n := len(s.w)

@@ -163,3 +163,29 @@ func TestIndexer(t *testing.T) {
 		t.Fatalf("IDs=%v", ids)
 	}
 }
+
+func TestIntersectionCount(t *testing.T) {
+	a := New(130)
+	b := New(130)
+	for _, i := range []int{0, 5, 63, 64, 100, 129} {
+		a.Add(i)
+	}
+	for _, i := range []int{5, 64, 99, 129} {
+		b.Add(i)
+	}
+	if got := a.IntersectionCount(b); got != 3 {
+		t.Errorf("IntersectionCount = %d, want 3", got)
+	}
+	if got := b.IntersectionCount(a); got != 3 {
+		t.Errorf("IntersectionCount reversed = %d, want 3", got)
+	}
+	// Different sized ranges: missing words read as empty.
+	small := New(8)
+	small.Add(5)
+	if got := a.IntersectionCount(small); got != 1 {
+		t.Errorf("mixed-size IntersectionCount = %d, want 1", got)
+	}
+	if got := (Set{}).IntersectionCount(a); got != 0 {
+		t.Errorf("zero-value IntersectionCount = %d, want 0", got)
+	}
+}

@@ -377,3 +377,56 @@ func TestSpecDigestStableAndDiscriminating(t *testing.T) {
 		t.Fatalf("digest %q lacks scheme prefix", a)
 	}
 }
+
+// TestPipelineCheckpointCrossModeResume: a checkpoint written from a
+// Progress emission of the *pipelined* explorer loads, validates
+// (digest compatibility is unaffected by worker count — workers and
+// queue depth are call arguments, not digested options), and resumes to
+// the uninterrupted front under either explorer. Snapshots are
+// interchangeable between -workers=1 and -workers=N runs.
+func TestPipelineCheckpointCrossModeResume(t *testing.T) {
+	s := models.SetTopBox()
+	full := core.Explore(s, core.Options{})
+
+	path := filepath.Join(t.TempDir(), "ck.json")
+	w := &Writer{Path: path}
+	opts := core.Options{ProgressEvery: 16}
+	saved := false
+	opts.Progress = func(p core.Progress) {
+		if saved || p.Cursor >= full.Cursor {
+			return
+		}
+		snap, err := Capture(s, opts, p)
+		if err != nil {
+			t.Errorf("capture: %v", err)
+			return
+		}
+		if err := w.Save(snap); err != nil {
+			t.Errorf("save: %v", err)
+			return
+		}
+		saved = true
+	}
+	core.ExploreParallel(s, opts, 4, 8)
+	if !saved {
+		t.Fatal("no mid-pipeline checkpoint written")
+	}
+
+	snap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stats.Pipeline.Workers != 4 {
+		t.Errorf("snapshot lost the pipeline shape: %+v", snap.Stats.Pipeline)
+	}
+	res, err := snap.Resume(s, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq := core.Explore(s, core.Options{Resume: res}); !frontsEqual(seq.Front, full.Front) {
+		t.Errorf("sequential resume of a pipeline checkpoint diverges from the full run")
+	}
+	if par := core.ExploreParallel(s, core.Options{Resume: res}, 2, 4); !frontsEqual(par.Front, full.Front) {
+		t.Errorf("pipelined resume of a pipeline checkpoint diverges from the full run")
+	}
+}

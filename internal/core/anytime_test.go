@@ -183,6 +183,84 @@ func TestResumeEquivalence(t *testing.T) {
 	}
 }
 
+// TestCrossModeResumeEquivalence (acceptance): a snapshot taken from a
+// Progress emission mid-pipeline is a valid resume point for *either*
+// explorer — the sequential resume and the pipelined resume both land
+// on the uninterrupted run's front and semantic counters, and the
+// mid-pipeline front itself is prefix-exact. This is what makes
+// checkpoints interchangeable between -workers=1 and -workers=N runs.
+func TestCrossModeResumeEquivalence(t *testing.T) {
+	s := models.SetTopBox()
+	full := Explore(s, Options{})
+
+	var snap *Progress
+	ExploreParallel(s, Options{ProgressEvery: 16, Progress: func(p Progress) {
+		if snap == nil && p.Cursor >= 48 && p.Cursor < full.Cursor {
+			cp := p
+			cp.Front = append([]*Implementation(nil), p.Front...)
+			snap = &cp
+		}
+	}}, 4, 8)
+	if snap == nil {
+		t.Fatal("no mid-scan progress emission from the pipeline")
+	}
+	if want := prefixFront(s, Options{}, snap.Cursor); !frontsEqual(snap.Front, want) {
+		t.Fatalf("cursor=%d: mid-pipeline progress front is not the prefix Pareto set", snap.Cursor)
+	}
+
+	res := &Resume{Cursor: snap.Cursor, Front: snap.Front, Stats: snap.Stats}
+	seqResumed := Explore(s, Options{Resume: res})
+	parResumed := ExploreParallel(s, Options{Resume: res}, 4, 8)
+	if !frontsEqual(seqResumed.Front, full.Front) {
+		t.Errorf("sequential resume of a pipeline snapshot diverges from the full run")
+	}
+	if !frontsEqual(parResumed.Front, full.Front) {
+		t.Errorf("pipelined resume of a pipeline snapshot diverges from the full run")
+	}
+	if seqResumed.Cursor != full.Cursor || parResumed.Cursor != full.Cursor {
+		t.Errorf("resumed cursors %d/%d != full run's %d",
+			seqResumed.Cursor, parResumed.Cursor, full.Cursor)
+	}
+	if !reflect.DeepEqual(seqResumed.Stats.Semantic(), full.Stats.Semantic()) {
+		t.Errorf("sequential resume semantic stats diverge:\n%+v\n%+v",
+			seqResumed.Stats.Semantic(), full.Stats.Semantic())
+	}
+	if !reflect.DeepEqual(parResumed.Stats.Semantic(), full.Stats.Semantic()) {
+		t.Errorf("pipelined resume semantic stats diverge:\n%+v\n%+v",
+			parResumed.Stats.Semantic(), full.Stats.Semantic())
+	}
+}
+
+// TestPipelineFinalProgress: the scan tail past the last periodic
+// emission still reports — the pipeline fires a closing Progress event
+// at the final cursor (the old wave explorer silently dropped the final
+// partial batch). With ProgressEvery larger than the scan, that final
+// event is the only one, and it must carry the complete front.
+func TestPipelineFinalProgress(t *testing.T) {
+	s := models.Decoder()
+	var last *Progress
+	count := 0
+	r := ExploreParallel(s, Options{ProgressEvery: 1 << 30, Progress: func(p Progress) {
+		count++
+		cp := p
+		cp.Front = append([]*Implementation(nil), p.Front...)
+		last = &cp
+	}}, 2, 4)
+	if count != 1 {
+		t.Fatalf("got %d progress emissions, want exactly the final one", count)
+	}
+	if last.Cursor != r.Cursor {
+		t.Errorf("final progress cursor %d != result cursor %d", last.Cursor, r.Cursor)
+	}
+	if !frontsEqual(last.Front, r.Front) {
+		t.Errorf("final progress front differs from the result front")
+	}
+	if last.Stats.PossibleAllocations != r.Stats.PossibleAllocations {
+		t.Errorf("final progress stats incomplete: possible %d != %d",
+			last.Stats.PossibleAllocations, r.Stats.PossibleAllocations)
+	}
+}
+
 // TestParallelCancelPrefixExact: cancelling the parallel explorer stops
 // the fold at the first unevaluated candidate, so its partial front is
 // the Pareto set of the prefix before Cursor.

@@ -44,9 +44,9 @@ func RandomSearchContext(ctx context.Context, s *spec.Spec, opts Options, iters 
 	units := alloc.Units(s)
 	ev := newEvaluator(s, opts)
 	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
-	res.Stats.AllocSpace = pow2(len(units))
+	res.Stats.AllocSpace = alloc.SearchSpace(len(units))
 	_, _, pc, _ := s.Problem.ElementCount()
-	res.Stats.DesignSpace = res.Stats.AllocSpace * pow2(pc)
+	res.Stats.DesignSpace = res.Stats.AllocSpace * alloc.SearchSpace(pc)
 	front := &pareto.Front{}
 	seen := map[string]bool{}
 	for i := 0; i < iters; i++ {
@@ -136,9 +136,9 @@ func EvolutionaryContext(ctx context.Context, s *spec.Spec, opts Options, cfg EA
 	ev := newEvaluator(s, opts)
 
 	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
-	res.Stats.AllocSpace = pow2(len(units))
+	res.Stats.AllocSpace = alloc.SearchSpace(len(units))
 	_, _, pc, _ := s.Problem.ElementCount()
-	res.Stats.DesignSpace = res.Stats.AllocSpace * pow2(pc)
+	res.Stats.DesignSpace = res.Stats.AllocSpace * alloc.SearchSpace(pc)
 	front := &pareto.Front{}
 
 	type genome []bool

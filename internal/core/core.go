@@ -256,6 +256,35 @@ type Stats struct {
 	// Cache reports the evaluation-cache effectiveness (zero when
 	// Options.DisableCache is set).
 	Cache CacheStats `json:"cache,omitempty"`
+	// Pipeline instruments the parallel explorer's streaming pipeline
+	// (zero for sequential runs).
+	Pipeline PipelineStats `json:"pipeline"`
+}
+
+// PipelineStats describes one parallel exploration run: the pipeline
+// shape and the contention gauges that tell whether the worker pool was
+// actually saturated. Like the cache counters these are runtime
+// telemetry, not semantics — Semantic() zeroes them, and a resumed run
+// starts them afresh.
+type PipelineStats struct {
+	// Workers is the number of persistent worker goroutines the run
+	// spawned — once each at startup, never per candidate.
+	Workers int `json:"workers,omitempty"`
+	// QueueDepth is the capacity of the bounded job channel feeding the
+	// workers; QueueHighWater is the deepest the queue actually got. A
+	// high-water mark pinned at the depth means enumeration outruns the
+	// workers (the pool is saturated); near zero means the producer
+	// starves it.
+	QueueDepth     int `json:"queueDepth,omitempty"`
+	QueueHighWater int `json:"queueHighWater,omitempty"`
+	// CommitStalls counts results that reached the ordered-commit stage
+	// before an earlier candidate had finished and waited in the
+	// reorder buffer.
+	CommitStalls int `json:"commitStalls,omitempty"`
+	// BusyNanos sums the wall-clock time workers spent evaluating
+	// candidates; BusyNanos / (elapsed × Workers) approximates pool
+	// utilization.
+	BusyNanos int64 `json:"busyNanos,omitempty"`
 }
 
 // CacheStats counts hits and misses of the candidate-evaluation caches
@@ -308,6 +337,7 @@ func (s Stats) Semantic() Stats {
 	s.BindingRuns = 0
 	s.BindingNodes = 0
 	s.Cache = CacheStats{}
+	s.Pipeline = PipelineStats{}
 	return s
 }
 

@@ -133,6 +133,9 @@ func seedResume(res *Result, front *pareto.Front, r *Resume) (fcur float64, star
 	res.Stats = r.Stats
 	res.Stats.Scanned = 0
 	res.Stats.PossibleAllocations = 0
+	// Pipeline gauges describe a single run, not the cumulative scan; a
+	// resumed run (sequential or parallel) starts them afresh.
+	res.Stats.Pipeline = PipelineStats{}
 	for _, im := range r.Front {
 		if front.Add(&pareto.Entry{
 			Objectives: pareto.CostFlexObjectives(im.Cost, im.Flexibility),
@@ -149,18 +152,10 @@ func seedResume(res *Result, front *pareto.Front, r *Resume) (fcur float64, star
 func finishResult(res *Result, aStats alloc.Stats, pc int, opts Options) {
 	res.Stats.Scanned = aStats.Scanned
 	res.Stats.AllocSpace = aStats.SearchSpace
-	res.Stats.DesignSpace = aStats.SearchSpace * pow2(pc)
+	res.Stats.DesignSpace = aStats.SearchSpace * alloc.SearchSpace(pc)
 	if res.Reason == ReasonCompleted && opts.MaxScan > 0 && aStats.Scanned >= opts.MaxScan {
 		res.Reason = ReasonScanBound
 	}
-}
-
-func pow2(n int) float64 {
-	out := 1.0
-	for i := 0; i < n; i++ {
-		out *= 2
-	}
-	return out
 }
 
 func frontToImplementations(front *pareto.Front) []*Implementation {

@@ -42,7 +42,10 @@ type jsonStats struct {
 	BindingRuns         int        `json:"bindingRuns"`
 	BindingNodes        int        `json:"bindingNodes"`
 	Cache               CacheStats `json:"cache"`
-	Diags               []Diag     `json:"diags,omitempty"`
+	// Pipeline appears only for parallel runs (nil for sequential ones,
+	// keeping their wire form unchanged).
+	Pipeline *PipelineStats `json:"pipeline,omitempty"`
+	Diags    []Diag         `json:"diags,omitempty"`
 }
 
 // MarshalJSON encodes the result — front, per-implementation behaviours
@@ -66,6 +69,9 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 			Cache:               r.Stats.Cache,
 			Diags:               r.Stats.Diags,
 		},
+	}
+	if p := r.Stats.Pipeline; p != (PipelineStats{}) {
+		out.Stats.Pipeline = &p
 	}
 	for _, im := range r.Front {
 		ji := jsonImplementation{

@@ -190,7 +190,7 @@ func ExploreMultiContext(ctx context.Context, s *spec.Spec, opts Options, object
 	ev.fold(&res.Stats)
 	res.Stats.Scanned = aStats.Scanned
 	res.Stats.AllocSpace = aStats.SearchSpace
-	res.Stats.DesignSpace = aStats.SearchSpace * pow2(pc)
+	res.Stats.DesignSpace = aStats.SearchSpace * alloc.SearchSpace(pc)
 	if res.Reason == ReasonCompleted && opts.MaxScan > 0 && aStats.Scanned >= opts.MaxScan {
 		res.Reason = ReasonScanBound
 	}

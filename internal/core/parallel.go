@@ -3,9 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/bitset"
@@ -15,31 +18,37 @@ import (
 
 // ExploreParallel runs EXPLORE with the per-candidate work — the
 // flexibility estimation and the implementation construction — fanned
-// out over worker goroutines while keeping the resulting front
-// bit-for-bit identical to the sequential explorer.
+// out over a pool of worker goroutines while keeping the resulting
+// front bit-for-bit identical to the sequential explorer.
 //
-// Determinism is preserved by processing candidates in waves: the
-// cost-ordered enumeration fills a batch, workers evaluate the batch
-// members concurrently against the bound as of the wave start, and the
-// results are folded into the front in the original candidate order.
-// The flexibility bound therefore lags by at most one wave compared to
-// the sequential run, which can only cause extra work, never different
-// fronts (a candidate the sequential run skips has estimate ≤ its
-// bound, so its implementation is dominated by the archive).
+// The engine is a streaming pipeline. The cost-ordered enumeration
+// feeds candidates into a bounded job channel; a fixed pool of workers
+// (spawned once, never per candidate) evaluates them against the
+// current flexibility bound, published through an atomic; and an
+// ordered-commit stage reassembles results in candidate order through a
+// reorder buffer before folding them into the Pareto front. There is no
+// batch barrier: a slow implementation stalls only the commit of later
+// candidates, never their evaluation.
 //
-// workers <= 0 selects GOMAXPROCS; batch <= 0 selects 8 x workers. On a
-// single-core host the wave machinery adds only a few percent overhead;
-// the speedup materializes with GOMAXPROCS > 1 because candidates are
+// Determinism is preserved by the commit order plus a second-chance
+// bound check: a worker may act on a stale (i.e. lower) bound, which
+// only causes extra work — the commit stage re-applies the exact
+// sequential bound, so fronts, cursors, termination reasons and all
+// semantic counters equal the sequential run's.
+//
+// workers <= 0 selects GOMAXPROCS; queue <= 0 selects 8 x workers. On a
+// single-core host the pipeline adds only a few percent overhead; the
+// speedup materializes with GOMAXPROCS > 1 because candidates are
 // evaluated independently.
-func ExploreParallel(s *spec.Spec, opts Options, workers, batch int) *Result {
-	return ExploreParallelContext(context.Background(), s, opts, workers, batch)
+func ExploreParallel(s *spec.Spec, opts Options, workers, queue int) *Result {
+	return ExploreParallelContext(context.Background(), s, opts, workers, queue)
 }
 
 // ExploreParallelContext is ExploreParallel under a context, with the
-// same anytime semantics as ExploreContext: on cancellation the fold
-// stops at the first unevaluated candidate (in candidate order), so the
-// partial front is exactly the Pareto set of the explored prefix and
-// Cursor marks where a resumed run continues.
+// same anytime semantics as ExploreContext: on cancellation the commit
+// stage stops at the first unevaluated candidate (in candidate order),
+// so the partial front is exactly the Pareto set of the explored prefix
+// and Cursor marks where a resumed run continues.
 //
 // Candidate evaluations are additionally isolated against panics: a
 // panicking estimation or implementation construction is recovered in
@@ -47,15 +56,15 @@ func ExploreParallel(s *spec.Spec, opts Options, workers, batch int) *Result {
 // is skipped — one poisoned design point cannot take down a long scan.
 // (The sequential explorer deliberately does not recover: combined with
 // periodic checkpointing, a crash there is recovered by resuming.)
-func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, workers, batch int) *Result {
+func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, workers, queue int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
 		return ExploreContext(ctx, s, opts)
 	}
-	if batch <= 0 {
-		batch = 8 * workers
+	if queue <= 0 {
+		queue = 8 * workers
 	}
 	// Warm the lazy indexes of the specification before concurrent use.
 	_ = Estimate(s, spec.Allocation{}, opts)
@@ -68,191 +77,331 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	front := &pareto.Front{}
 	fcur, startCursor := seedResume(res, front, opts.Resume)
-	idx := 0
-	lastEmit := startCursor
 	res.Cursor = startCursor
+	res.Stats.Pipeline = PipelineStats{Workers: workers, QueueDepth: queue}
 
-	type job struct {
-		idx       int
-		alloc     spec.Allocation
-		site      string
-		est       float64
-		sup       bitset.Set
-		haveSup   bool
-		estimated bool
-		attempted bool
-		cancelled bool
-		impl      *Implementation
-		stats     Stats
-		diag      *Diag
+	p := &pipeline{
+		ctx:  ctx,
+		ev:   ev,
+		opts: opts,
+		jobs: make(chan *pipeJob, queue),
+		// Sized so a worker can always deposit a result without
+		// blocking the commit stage's drain: at most queue+workers jobs
+		// are in flight between producer and committer.
+		results: make(chan *pipeJob, queue+workers),
+		done:    make(chan struct{}),
 	}
-	var wave []*job
+	p.bound.Store(math.Float64bits(fcur))
 
-	// flush evaluates the pending wave concurrently and folds it into
-	// the front in candidate order. It returns false when the scan must
-	// stop (cancellation observed, or StopAtMaxFlex satisfied); the
-	// termination reason and cursor are recorded on res either way, so
-	// nothing is lost if a caller discards the return value.
-	flush := func() bool {
-		if len(wave) == 0 {
-			return true
-		}
-		bound := fcur
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for _, j := range wave {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(j *job) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				defer func() {
-					if r := recover(); r != nil {
-						j.diag = &Diag{
-							Kind: DiagPanic, Site: j.site, Cursor: j.idx,
-							Allocation: j.alloc.String(),
-							Message:    fmt.Sprint(r),
-							Stack:      trimStack(debug.Stack()),
-						}
-					}
-				}()
-				if ctx.Err() != nil {
-					j.cancelled = true
-					return
-				}
-				j.site = SiteEstimate
-				if err := opts.Fault.Fire(SiteEstimate, j.idx); err != nil {
-					j.diag = &Diag{
-						Kind: DiagError, Site: SiteEstimate, Cursor: j.idx,
-						Allocation: j.alloc.String(), Message: err.Error(),
-					}
-					return
-				}
-				if ctx.Err() != nil {
-					j.cancelled = true
-					return
-				}
-				j.estimated = true
-				j.est, j.sup, j.haveSup = ev.estimate(j.alloc)
-				if !opts.DisableFlexBound && j.est <= bound {
-					return
-				}
-				j.site = SiteImplement
-				if err := opts.Fault.Fire(SiteImplement, j.idx); err != nil {
-					j.diag = &Diag{
-						Kind: DiagError, Site: SiteImplement, Cursor: j.idx,
-						Allocation: j.alloc.String(), Message: err.Error(),
-					}
-					return
-				}
-				j.attempted = true
-				j.impl = ev.implement(j.alloc, j.sup, j.haveSup, &j.stats)
-			}(j)
-		}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range p.jobs {
+				p.evaluate(j)
+				p.results <- j
+			}
+		}()
+	}
+	go func() {
 		wg.Wait()
-		stop := false
-		for _, j := range wave {
-			if j.cancelled {
-				// The fold stops at the first candidate that was not
-				// evaluated; completed jobs after it are discarded so
-				// the front stays prefix-exact.
-				res.Interrupted, res.Reason = true, reasonFor(ctx)
-				res.Cursor = j.idx
-				stop = true
-				break
-			}
-			if j.estimated {
-				res.Stats.Estimated++
-			}
-			if j.diag != nil {
-				// Faulted or panicked: record the diagnostic, skip the
-				// candidate, keep scanning.
-				res.Stats.Diags = append(res.Stats.Diags, *j.diag)
-				res.Cursor = j.idx + 1
-				continue
-			}
-			// Second chance against the bound tightened within this
-			// wave: drop results the sequential run would have skipped
-			// (they are dominated anyway; skipping keeps the counters
-			// closer to the sequential run's).
-			if j.attempted && (opts.DisableFlexBound || j.est > fcur) {
-				res.Stats.Attempted++
-				res.Stats.ECSTested += j.stats.ECSTested
-				res.Stats.BindingRuns += j.stats.BindingRuns
-				res.Stats.BindingNodes += j.stats.BindingNodes
-				if j.impl != nil {
-					res.Stats.Feasible++
-					if front.Add(&pareto.Entry{
-						Objectives: pareto.CostFlexObjectives(j.impl.Cost, j.impl.Flexibility),
-						Value:      j.impl,
-					}) && j.impl.Flexibility > fcur {
-						fcur = j.impl.Flexibility
-					}
-				}
-				// Same stopping rule as the sequential explorer: check
-				// only after an attempted implementation.
-				if opts.StopAtMaxFlex && fcur >= res.MaxFlexibility {
-					res.Reason = ReasonMaxFlex
-					res.Cursor = j.idx + 1
-					stop = true
-					break
-				}
-			}
-			res.Cursor = j.idx + 1
-		}
-		wave = wave[:0]
-		return !stop
-	}
+		close(p.results)
+	}()
 
+	c := &committer{
+		p:        p,
+		res:      res,
+		front:    front,
+		fcur:     fcur,
+		next:     startCursor,
+		lastEmit: startCursor,
+		pending:  map[int]*pipeJob{},
+	}
+	commitDone := make(chan struct{})
+	go func() {
+		defer close(commitDone)
+		c.run()
+	}()
+
+	// The producer: the cost-ordered enumeration runs on this
+	// goroutine and feeds the job channel.
+	idx := 0
+	producerCancelled := false
 	_, _, pc, _ := s.Problem.ElementCount()
 	aStats := alloc.Enumerate(s, alloc.Options{
 		IncludeUselessComm: opts.IncludeUselessComm,
 		MaxScan:            opts.MaxScan,
-	}, func(c alloc.Candidate) bool {
-		res.Stats.PossibleAllocations++
+	}, func(cd alloc.Candidate) bool {
+		p.possible.Add(1)
 		if idx < startCursor {
+			// Resume: replay the deterministic enumeration up to the
+			// snapshot's cursor without re-evaluating candidates.
 			idx++
 			return true
 		}
 		if ctx.Err() != nil {
-			if len(wave) == 0 {
-				res.Interrupted, res.Reason = true, reasonFor(ctx)
-			} else {
-				// Fold the pending wave: its workers observe the
-				// cancelled context and the fold lands on the first
-				// unevaluated candidate.
-				flush()
-			}
+			producerCancelled = true
 			return false
 		}
-		wave = append(wave, &job{idx: idx, alloc: c.Allocation.Clone()})
+		j := &pipeJob{idx: idx, alloc: cd.Allocation}
 		idx++
-		if len(wave) >= batch {
-			if !flush() {
-				return false
+		select {
+		case p.jobs <- j:
+			if l := int64(len(p.jobs)); l > p.highWater.Load() {
+				p.highWater.Store(l)
 			}
-			if opts.Progress != nil && res.Cursor-lastEmit >= opts.progressEvery() {
-				ev.fold(&res.Stats)
-				opts.Progress(Progress{
-					Cursor:         res.Cursor,
-					BestFlex:       fcur,
-					MaxFlexibility: res.MaxFlexibility,
-					Front:          frontToImplementations(front),
-					Stats:          res.Stats,
-				})
-				lastEmit = res.Cursor
-			}
+			return true
+		case <-p.done:
+			// The commit stage ended the scan (cancellation committed
+			// in order, or StopAtMaxFlex); j is dropped.
+			return false
 		}
-		return true
 	})
-	// Final partial wave: flush records any StopAtMaxFlex hit or
-	// cancellation on res (previously the return value — and with it
-	// the termination reason — was silently discarded here).
-	flush()
+	close(p.jobs)
+	<-commitDone
+
+	if producerCancelled && !c.stopped {
+		// The producer observed the cancellation but every in-flight
+		// job had already completed: the scan still ends interrupted,
+		// prefix-exact at the last committed candidate.
+		res.Interrupted, res.Reason = true, reasonFor(ctx)
+	}
+	res.Stats.PossibleAllocations = int(p.possible.Load())
+	res.Stats.Pipeline.QueueHighWater = int(p.highWater.Load())
+	res.Stats.Pipeline.CommitStalls = c.stalls
+	res.Stats.Pipeline.BusyNanos = p.busy.Load()
 	ev.fold(&res.Stats)
+	// A final progress event covers the scan tail past the last
+	// periodic emission, so long tails still report (and a checkpoint
+	// writer hooked on Progress captures the finished prefix).
+	if opts.Progress != nil && res.Cursor > c.lastEmit {
+		opts.Progress(Progress{
+			Cursor:         res.Cursor,
+			BestFlex:       c.fcur,
+			MaxFlexibility: res.MaxFlexibility,
+			Front:          frontToImplementations(front),
+			Stats:          res.Stats,
+		})
+	}
 	finishResult(res, aStats, pc, opts)
 	res.Front = frontToImplementations(front)
 	return res
+}
+
+// pipeJob is one candidate travelling through the pipeline, carrying
+// its evaluation outcome from a worker to the ordered-commit stage.
+type pipeJob struct {
+	idx       int
+	alloc     spec.Allocation
+	site      string
+	est       float64
+	sup       bitset.Set
+	haveSup   bool
+	estimated bool
+	attempted bool
+	cancelled bool
+	impl      *Implementation
+	stats     Stats
+	diag      *Diag
+}
+
+// pipeline holds the shared state of one parallel run: the channels,
+// the atomically published flexibility bound, and the contention
+// gauges.
+type pipeline struct {
+	ctx     context.Context
+	ev      *evaluator
+	opts    Options
+	jobs    chan *pipeJob
+	results chan *pipeJob
+	// done is closed by the commit stage when the scan must stop;
+	// producer and workers treat it as a fast-path skip.
+	done chan struct{}
+	// bound is the best implemented flexibility (math.Float64bits),
+	// written by the commit stage, read by workers. A stale read only
+	// admits extra implementation attempts; the commit stage re-checks
+	// against the exact bound.
+	bound     atomic.Uint64
+	possible  atomic.Int64
+	highWater atomic.Int64
+	busy      atomic.Int64
+}
+
+// evaluate runs the per-candidate work on a worker goroutine, mirroring
+// the sequential explorer's order of operations exactly: estimate
+// failpoint, cancellation re-check, estimation, bound check, implement
+// failpoint, implementation construction.
+func (p *pipeline) evaluate(j *pipeJob) {
+	start := time.Now()
+	defer func() { p.busy.Add(time.Since(start).Nanoseconds()) }()
+	defer func() {
+		if r := recover(); r != nil {
+			j.diag = &Diag{
+				Kind: DiagPanic, Site: j.site, Cursor: j.idx,
+				Allocation: j.alloc.String(),
+				Message:    fmt.Sprint(r),
+				Stack:      trimStack(debug.Stack()),
+			}
+		}
+	}()
+	select {
+	case <-p.done:
+		// The scan already ended at an earlier candidate; the commit
+		// stage discards this job unexamined.
+		return
+	default:
+	}
+	if p.ctx.Err() != nil {
+		j.cancelled = true
+		return
+	}
+	j.site = SiteEstimate
+	if err := p.opts.Fault.Fire(SiteEstimate, j.idx); err != nil {
+		j.diag = &Diag{
+			Kind: DiagError, Site: SiteEstimate, Cursor: j.idx,
+			Allocation: j.alloc.String(), Message: err.Error(),
+		}
+		return
+	}
+	if p.ctx.Err() != nil {
+		// A Cancel failpoint fired between the two checks.
+		j.cancelled = true
+		return
+	}
+	j.estimated = true
+	j.est, j.sup, j.haveSup = p.ev.estimate(j.alloc)
+	if !p.opts.DisableFlexBound && j.est <= math.Float64frombits(p.bound.Load()) {
+		return
+	}
+	j.site = SiteImplement
+	if err := p.opts.Fault.Fire(SiteImplement, j.idx); err != nil {
+		j.diag = &Diag{
+			Kind: DiagError, Site: SiteImplement, Cursor: j.idx,
+			Allocation: j.alloc.String(), Message: err.Error(),
+		}
+		return
+	}
+	j.attempted = true
+	j.impl = p.ev.implement(j.alloc, j.sup, j.haveSup, &j.stats)
+}
+
+// committer is the ordered-commit stage: it owns the result, the front
+// and the exact flexibility bound, folding worker results strictly in
+// candidate order through a reorder buffer.
+type committer struct {
+	p        *pipeline
+	res      *Result
+	front    *pareto.Front
+	fcur     float64
+	next     int
+	lastEmit int
+	pending  map[int]*pipeJob
+	stalls   int
+	stopped  bool
+}
+
+func (c *committer) run() {
+	for j := range c.p.results {
+		if c.stopped {
+			// Drain: the scan already ended at an earlier candidate.
+			continue
+		}
+		if j.idx != c.next {
+			c.pending[j.idx] = j
+			c.stalls++
+			continue
+		}
+		c.commit(j)
+		for !c.stopped {
+			nj, ok := c.pending[c.next]
+			if !ok {
+				break
+			}
+			delete(c.pending, c.next)
+			c.commit(nj)
+		}
+	}
+}
+
+// commit folds one in-order result into the front — the same fold, in
+// the same order, as the sequential explorer's candidate loop.
+func (c *committer) commit(j *pipeJob) {
+	if j.cancelled {
+		// The commit stops at the first candidate that was not
+		// evaluated; completed jobs after it are discarded so the front
+		// stays prefix-exact.
+		c.res.Interrupted, c.res.Reason = true, reasonFor(c.p.ctx)
+		c.res.Cursor = j.idx
+		c.stop()
+		return
+	}
+	if j.estimated {
+		c.res.Stats.Estimated++
+	}
+	if j.diag != nil {
+		// Faulted or panicked: record the diagnostic, skip the
+		// candidate, keep scanning.
+		c.res.Stats.Diags = append(c.res.Stats.Diags, *j.diag)
+		c.advance(j.idx + 1)
+		return
+	}
+	// Second chance against the exact bound as of this commit: drop
+	// results the sequential run would have skipped. The atomic bound a
+	// worker saw is never above the commit-time bound (the bound only
+	// rises, in commit order), so the worker attempted a superset of
+	// the sequential run's attempts and this filter restores exact
+	// equality of fronts and counters.
+	if j.attempted && (c.p.opts.DisableFlexBound || j.est > c.fcur) {
+		c.res.Stats.Attempted++
+		c.res.Stats.ECSTested += j.stats.ECSTested
+		c.res.Stats.BindingRuns += j.stats.BindingRuns
+		c.res.Stats.BindingNodes += j.stats.BindingNodes
+		if j.impl != nil {
+			c.res.Stats.Feasible++
+			if c.front.Add(&pareto.Entry{
+				Objectives: pareto.CostFlexObjectives(j.impl.Cost, j.impl.Flexibility),
+				Value:      j.impl,
+			}) && j.impl.Flexibility > c.fcur {
+				c.fcur = j.impl.Flexibility
+				c.p.bound.Store(math.Float64bits(c.fcur))
+			}
+		}
+		// Same stopping rule as the sequential explorer: check only
+		// after an attempted implementation.
+		if c.p.opts.StopAtMaxFlex && c.fcur >= c.res.MaxFlexibility {
+			c.res.Reason = ReasonMaxFlex
+			c.res.Cursor = j.idx + 1
+			c.stop()
+			return
+		}
+	}
+	c.advance(j.idx + 1)
+}
+
+func (c *committer) advance(cursor int) {
+	c.next = cursor
+	c.res.Cursor = cursor
+	if c.p.opts.Progress != nil && cursor-c.lastEmit >= c.p.opts.progressEvery() {
+		c.p.ev.fold(&c.res.Stats)
+		c.res.Stats.PossibleAllocations = int(c.p.possible.Load())
+		c.res.Stats.Pipeline.QueueHighWater = int(c.p.highWater.Load())
+		c.res.Stats.Pipeline.CommitStalls = c.stalls
+		c.res.Stats.Pipeline.BusyNanos = c.p.busy.Load()
+		c.p.opts.Progress(Progress{
+			Cursor:         cursor,
+			BestFlex:       c.fcur,
+			MaxFlexibility: c.res.MaxFlexibility,
+			Front:          frontToImplementations(c.front),
+			Stats:          c.res.Stats,
+		})
+		c.lastEmit = cursor
+	}
+}
+
+func (c *committer) stop() {
+	c.stopped = true
+	close(c.p.done)
 }
 
 // trimStack bounds a recovered panic's stack trace so Stats diags stay

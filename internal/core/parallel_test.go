@@ -86,6 +86,101 @@ func TestPropParallelAgrees(t *testing.T) {
 	}
 }
 
+// TestPipelineDifferentialGrid: across a grid of specs × worker counts
+// × queue depths, the pipelined explorer produces bit-identical fronts,
+// cursors, termination reasons and Semantic() stats to the sequential
+// explorer. The strict ordered commit plus the second-chance bound
+// check make even Estimated/Attempted/ECSTested/Feasible exactly equal
+// (the stale atomic bound a worker reads is never above the commit-time
+// bound, so the commit filter removes precisely the extra attempts).
+// CI runs this under -race.
+func TestPipelineDifferentialGrid(t *testing.T) {
+	synth := func(seed int64) *spec.Spec {
+		return models.Synthetic(models.SyntheticParams{
+			Seed: seed, Apps: 2, Depth: 1, Branch: 2, Vertices: 2,
+			Processors: 2, ASICs: 2, Designs: 2, Buses: 3,
+			TimedFraction: 0.3, AccelOnlyFraction: 0.3,
+		})
+	}
+	specs := []struct {
+		name string
+		s    *spec.Spec
+		opts Options
+		// stopEarly marks runs that end before the scan is exhausted.
+		// There the producer legitimately enumerates ahead of the stop
+		// decision still in flight (bounded by the pipeline capacity),
+		// so the scan-effort counters Scanned/PossibleAllocations may
+		// overshoot the sequential run's; everything the commit stage
+		// folded — fronts, cursor, reason, evaluation counters — must
+		// still be identical.
+		stopEarly bool
+	}{
+		{"settop", models.SetTopBox(), Options{}, false},
+		{"decoder", models.Decoder(), Options{}, false},
+		{"synth3", synth(3), Options{}, false},
+		{"synth7-nobound", synth(7), Options{DisableFlexBound: true}, false},
+		{"settop-stopmax", models.SetTopBox(), Options{StopAtMaxFlex: true}, true},
+	}
+	for _, tc := range specs {
+		seq := Explore(tc.s, tc.opts)
+		for _, w := range []int{2, 4, 8} {
+			for _, q := range []int{1, 4, 32} {
+				par := ExploreParallel(tc.s, tc.opts, w, q)
+				sameFronts(t, seq, par)
+				if par.Cursor != seq.Cursor {
+					t.Errorf("%s w=%d q=%d: cursor %d != sequential %d",
+						tc.name, w, q, par.Cursor, seq.Cursor)
+				}
+				if par.Reason != seq.Reason {
+					t.Errorf("%s w=%d q=%d: reason %q != sequential %q",
+						tc.name, w, q, par.Reason, seq.Reason)
+				}
+				ps, ss := par.Stats.Semantic(), seq.Stats.Semantic()
+				if tc.stopEarly {
+					if ps.Scanned < ss.Scanned || ps.PossibleAllocations < ss.PossibleAllocations {
+						t.Errorf("%s w=%d q=%d: pipeline scanned less than sequential", tc.name, w, q)
+					}
+					ps.Scanned, ss.Scanned = 0, 0
+					ps.PossibleAllocations, ss.PossibleAllocations = 0, 0
+				}
+				if !reflect.DeepEqual(ps, ss) {
+					t.Errorf("%s w=%d q=%d: semantic stats diverge:\npar: %+v\nseq: %+v",
+						tc.name, w, q, ps, ss)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineCounters: the new pipeline gauges are populated for
+// parallel runs, absent from sequential ones, and excluded from the
+// semantic view. Workers records the pool size — the total goroutine
+// spawn count — independent of how many candidates flow through, which
+// is the "no per-candidate goroutine" invariant in observable form.
+func TestPipelineCounters(t *testing.T) {
+	s := models.SetTopBox()
+	r := ExploreParallel(s, Options{DisableFlexBound: true}, 3, 5)
+	p := r.Stats.Pipeline
+	if p.Workers != 3 || p.QueueDepth != 5 {
+		t.Fatalf("pipeline shape not recorded: %+v", p)
+	}
+	if r.Stats.PossibleAllocations <= p.Workers {
+		t.Fatalf("model too small to distinguish pool from per-candidate spawning")
+	}
+	if p.QueueHighWater < 1 || p.QueueHighWater > p.QueueDepth {
+		t.Errorf("queue high water %d outside [1, %d]", p.QueueHighWater, p.QueueDepth)
+	}
+	if p.BusyNanos <= 0 {
+		t.Errorf("no worker busy time recorded")
+	}
+	if r.Stats.Semantic().Pipeline != (PipelineStats{}) {
+		t.Errorf("pipeline gauges leak into the semantic view")
+	}
+	if seq := Explore(s, Options{}); seq.Stats.Pipeline != (PipelineStats{}) {
+		t.Errorf("sequential run reports pipeline stats: %+v", seq.Stats.Pipeline)
+	}
+}
+
 // TestImplementConcurrentAfterWarmup: the parallel explorer relies on a
 // single warm-up Estimate building every lazy index of the shared
 // specification before workers hit it concurrently. Exercise exactly

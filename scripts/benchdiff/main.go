@@ -1,0 +1,119 @@
+// Command benchdiff compares two BENCH_explore.json files (as written
+// by scripts/bench.sh) and fails when a gated benchmark's ns/op
+// regressed beyond a threshold.
+//
+//	go run ./scripts/benchdiff [-match RE] [-max-regress PCT] old.json new.json
+//
+// Every benchmark present in both files is printed with its old→new
+// ns/op and the percent delta; only the benchmarks whose name matches
+// -match are gated. The default gate covers the cached
+// BenchmarkExploreSynthetic variant — the deterministic evaluation hot
+// path — because wall-clock numbers for the uncached and multi-worker
+// variants swing too much across runner hardware to gate in CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type benchFile struct {
+	Count      int                          `json:"count"`
+	Benchmarks []map[string]json.RawMessage `json:"benchmarks"`
+}
+
+// load returns benchmark name → ns/op for every entry that carries one.
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		var name string
+		if raw, ok := b["name"]; ok {
+			if err := json.Unmarshal(raw, &name); err != nil {
+				continue
+			}
+		}
+		var ns float64
+		raw, ok := b["ns/op"]
+		if name == "" || !ok || json.Unmarshal(raw, &ns) != nil || ns <= 0 {
+			continue
+		}
+		out[name] = ns
+	}
+	return out, nil
+}
+
+func main() {
+	match := flag.String("match", `^BenchmarkExploreSynthetic/cached$`,
+		"regexp of benchmark names the regression gate applies to")
+	maxRegress := flag.Float64("max-regress", 25,
+		"fail when a gated benchmark's ns/op grows more than this percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-match RE] [-max-regress PCT] old.json new.json")
+		os.Exit(2)
+	}
+	gate, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range old {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between the two files")
+		os.Exit(2)
+	}
+
+	failed := false
+	gated := 0
+	for _, name := range names {
+		o, n := old[name], cur[name]
+		delta := (n - o) / o * 100
+		status := ""
+		if gate.MatchString(name) {
+			gated++
+			if delta > *maxRegress {
+				status = fmt.Sprintf("  REGRESSION (> %+.0f%%)", *maxRegress)
+				failed = true
+			} else {
+				status = "  ok (gated)"
+			}
+		}
+		fmt.Printf("%-50s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", name, o, n, delta, status)
+	}
+	if gated == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark matched the gate %q\n", *match)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

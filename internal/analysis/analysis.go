@@ -1,0 +1,250 @@
+// Package analysis is a dependency-free reimplementation of the core
+// of golang.org/x/tools/go/analysis, carrying the flexvet analyzer
+// suite (FX001–FX007) that mechanically enforces this repository's
+// concurrency and determinism invariants:
+//
+//	FX001  pool-pairing        every sync.Pool.Get must be Put (or
+//	                           ownership-transferred) on all paths
+//	FX002  atomic-bound        the shared flexibility bound is touched
+//	                           only through //flexvet:bound-helper funcs
+//	FX003  stats-completeness  every core.Stats field is zeroed by
+//	                           Semantic() or allowlisted, and JSON-tagged
+//	FX004  digest-completeness every core.Options field enters the
+//	                           checkpoint options digest or is excluded
+//	FX005  context-poll        candidate loops in explorers poll ctx
+//	FX006  determinism         no wall clock, unseeded randomness, or
+//	                           map-iteration-order-dependent output
+//	FX007  error-wrapping      fmt.Errorf wraps error operands with %w
+//
+// The x/tools module is deliberately not imported — the repository is
+// dependency-free — so the Analyzer/Pass surface here mirrors the
+// upstream API closely enough that the analyzers would port to the real
+// framework by changing imports, while the drivers (cmd/flexvet, the
+// analysistest harness, the go vet -vettool unit-checker protocol) are
+// implemented against the standard library only.
+//
+// Diagnostics can be suppressed per line with a trailing or preceding
+//
+//	//flexvet:ignore FXnnn reason...
+//
+// comment naming the code being silenced; the reason is mandatory
+// documentation for the next reader, not parsed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring the upstream
+// go/analysis.Analyzer surface (Name, Doc, Run).
+type Analyzer struct {
+	// Name is the lowercase identifier (e.g. "fx001") used for flags
+	// and result grouping.
+	Name string
+	// Code is the diagnostic code (e.g. "FX001") used in messages and
+	// matched by //flexvet:ignore directives.
+	Code string
+	// Doc is the one-paragraph description shown by flexvet -help.
+	Doc string
+	// Run reports diagnostics for one type-checked package through
+	// pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic; nil falls back to collecting into
+	// Diagnostics.
+	Report func(Diagnostic)
+
+	diagnostics []Diagnostic
+	ignores     map[string]map[int][]string // file -> line -> codes
+}
+
+// Diagnostic is one finding, positioned in Fset.
+type Diagnostic struct {
+	Pos     token.Pos
+	Code    string
+	Message string
+}
+
+// Reportf reports a diagnostic at pos unless an ignore directive
+// covers (file, line, code).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignored(position.Filename, position.Line, p.Analyzer.Code) {
+		return
+	}
+	d := Diagnostic{Pos: pos, Code: p.Analyzer.Code, Message: fmt.Sprintf(format, args...)}
+	if p.Report != nil {
+		p.Report(d)
+		return
+	}
+	p.diagnostics = append(p.diagnostics, d)
+}
+
+// Diagnostics returns the findings collected when no Report hook was
+// installed, in position order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diagnostics, func(i, j int) bool {
+		return p.diagnostics[i].Pos < p.diagnostics[j].Pos
+	})
+	return p.diagnostics
+}
+
+// ignored reports whether an //flexvet:ignore directive on the line or
+// the line above names the code (or "all").
+func (p *Pass) ignored(file string, line int, code string) bool {
+	if p.ignores == nil {
+		p.ignores = collectIgnores(p.Fset, p.Files)
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, c := range p.ignores[file][l] {
+			if c == code || c == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment for ignore directives.
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := map[string]map[int][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//flexvet:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int][]string{}
+				}
+				out[pos.Filename][pos.Line] = append(out[pos.Filename][pos.Line], fields[0])
+			}
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether the function declaration's doc comment
+// (or a comment in its body's first line) carries the given
+// //flexvet:<name> marker.
+func HasDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, "//flexvet:"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathBase returns the last segment of an import path.
+func PathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// ScopedTo reports whether the package's import path ends in one of the
+// given segment names. Real packages match by their directory name
+// (repro/internal/core → "core"); the analysistest fixtures mirror the
+// same trailing segment (fx002/core → "core").
+func ScopedTo(pkg *types.Package, segments ...string) bool {
+	base := PathBase(pkg.Path())
+	for _, s := range segments {
+		if base == s {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves a call expression to the package-level function
+// or method it invokes, or nil (builtin, function value, type
+// conversion).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function
+// pkgPath.name (not a method).
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// ReceiverNamed returns the named type of a method's receiver
+// (dereferencing a pointer receiver), or nil for package-level
+// functions.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsNamedType reports whether t (after pointer indirection) is the
+// named type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

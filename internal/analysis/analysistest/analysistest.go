@@ -1,0 +1,212 @@
+// Package analysistest runs flexvet analyzers over small fixture
+// packages under testdata/src and checks the reported diagnostics
+// against `// want "regexp"` comments in the fixtures — a
+// dependency-free analogue of x/tools' go/analysis/analysistest.
+//
+// Fixture packages import each other by their path relative to
+// testdata/src (e.g. `import "fx004/core"`); standard-library imports
+// are resolved through the toolchain's compiler export data, so the
+// fixtures can use sync, context, fmt and friends without vendoring
+// anything.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each pattern — a directory under <testdata>/src holding
+// one package — and checks the analyzer's diagnostics against the
+// package's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	ld := newLoader(src)
+	for _, pattern := range patterns {
+		pkg, err := ld.load(pattern)
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", pattern, err)
+		}
+		diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: run %s on %s: %v", a.Name, pattern, err)
+		}
+		check(t, pattern, ld.fset, pkg.Files, diags)
+	}
+}
+
+// loader parses and type-checks fixture packages, resolving fixture
+// imports from testdata/src and everything else from compiler export
+// data.
+type loader struct {
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*analysis.Package
+	std  types.Importer
+}
+
+func newLoader(src string) *loader {
+	l := &loader{
+		src:  src,
+		fset: token.NewFileSet(),
+		pkgs: map[string]*analysis.Package{},
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", lookupStdExport)
+	return l
+}
+
+// lookupStdExport asks the go command for a package's export data; the
+// build cache makes this an offline, local operation.
+func lookupStdExport(path string) (io.ReadCloser, error) {
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: go list -export %s: %w", path, err)
+	}
+	file := strings.TrimSpace(string(out))
+	if file == "" {
+		return nil, fmt.Errorf("analysistest: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer over both namespaces.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Pkg, nil
+	}
+	if fi, err := os.Stat(filepath.Join(l.src, path)); err == nil && fi.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", path, err)
+	}
+	p := &analysis.Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// expectation is one `// want` regexp awaiting a diagnostic on its
+// line.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// check pairs diagnostics with want comments one-to-one per line.
+func check(t *testing.T, pattern string, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				rest = strings.TrimSpace(rest)
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want comment: %q", key, rest)
+						break
+					}
+					lit, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %s: %v", key, q, err)
+						break
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, lit, err)
+						break
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: lit})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, e := range wants[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: %s: unexpected diagnostic: %s", pattern, pos, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: %s: no diagnostic matched want %q", pattern, key, e.raw)
+			}
+		}
+	}
+}

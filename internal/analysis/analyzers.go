@@ -1,0 +1,6 @@
+package analysis
+
+// All returns the complete flexvet analyzer suite in code order.
+func All() []*Analyzer {
+	return []*Analyzer{FX001, FX002, FX003, FX004, FX005, FX006, FX007}
+}

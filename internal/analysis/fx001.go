@@ -1,0 +1,304 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FX001 enforces sync.Pool Get/Put pairing: a value obtained from a
+// pool's Get must, on every path that leaves its scope — returns,
+// breaks, continues, and the end of the enclosing block — either have
+// been handed back through the same pool's Put or have had its
+// ownership transferred (passed to a call, returned, stored into a
+// structure, sent on a channel, aliased).
+//
+// The check is block-dominance based: a release covers an exit only
+// when the release's innermost enclosing block also encloses the exit
+// and the release comes first. That is exact for the structured
+// Get/Put code in internal/alloc and internal/core and conservative
+// elsewhere; a justified exception is silenced with
+// //flexvet:ignore FX001 <reason>.
+var FX001 = &Analyzer{
+	Name: "fx001",
+	Code: "FX001",
+	Doc: "check that every sync.Pool.Get has a Put or an ownership transfer " +
+		"reachable on all paths, including early returns",
+	Run: runFX001,
+}
+
+func runFX001(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fn, ok := n.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkPoolPairing(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// poolUse is one tracked Get: the pool it came from, the local variable
+// holding the result, and where the Get happened.
+type poolUse struct {
+	pool    types.Object // the sync.Pool variable or field
+	local   types.Object // variable bound to the Get result (nil = consumed inline)
+	getPos  token.Pos
+	declBlk *ast.BlockStmt // block the result variable lives in
+}
+
+// checkPoolPairing analyzes one function body (function literals are
+// visited through the same parent map; a Get inside a literal is
+// checked against the literal's own blocks).
+func checkPoolPairing(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	var uses []*poolUse
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+
+		if call, ok := n.(*ast.CallExpr); ok {
+			if pool, method := poolCall(info, call); pool != nil && method == "Get" {
+				u := &poolUse{pool: pool, getPos: call.Pos()}
+				u.local, u.declBlk = getResultBinding(info, parents, call)
+				uses = append(uses, u)
+			}
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		if u.local == nil || u.declBlk == nil {
+			// The Get result is consumed inline (passed on, returned,
+			// or deliberately dropped) — ownership left immediately.
+			continue
+		}
+		checkPoolUse(pass, parents, u)
+	}
+}
+
+// poolCall resolves a call to a sync.Pool method, returning the pool's
+// root object and the method name.
+func poolCall(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	if named := ReceiverNamed(fn); named == nil || named.Obj().Name() != "Pool" {
+		return nil, ""
+	}
+	return rootObject(info, sel.X), fn.Name()
+}
+
+// rootObject resolves the identity of a pool expression: a plain
+// variable (`pool.Get()`) or a field chain (`p.pool.Get()`), keyed by
+// the final object so Get and Put on the same pool match.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return rootObject(info, e.X)
+		}
+	}
+	return nil
+}
+
+// getResultBinding finds the local variable a Get result is bound to:
+// pool.Get() possibly behind a type assertion, on the RHS of a define
+// or assign with a single ident LHS. Any other consumption counts as an
+// immediate ownership transfer.
+func getResultBinding(info *types.Info, parents map[ast.Node]ast.Node, call *ast.CallExpr) (types.Object, *ast.BlockStmt) {
+	n := ast.Node(call)
+	for {
+		p := parents[n]
+		switch pt := p.(type) {
+		case *ast.TypeAssertExpr, *ast.ParenExpr:
+			n = p
+			continue
+		case *ast.AssignStmt:
+			if len(pt.Lhs) == 1 && len(pt.Rhs) == 1 && pt.Rhs[0] == n {
+				if id, ok := pt.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					return info.ObjectOf(id), enclosingBlock(parents, p)
+				}
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+func enclosingBlock(parents map[ast.Node]ast.Node, n ast.Node) *ast.BlockStmt {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if b, ok := p.(*ast.BlockStmt); ok {
+			return b
+		}
+	}
+	return nil
+}
+
+// checkPoolUse verifies one tracked Get against every exit of its
+// scope.
+func checkPoolUse(pass *Pass, parents map[ast.Node]ast.Node, u *poolUse) {
+	info := pass.TypesInfo
+
+	// Releases: Put on the same pool (incl. deferred), or an ownership
+	// transfer of the tracked variable. Exits: returns and loop
+	// branches after the Get, plus the end of the declaring block.
+	var releases []token.Pos
+	type exit struct {
+		pos  token.Pos
+		desc string
+	}
+	var exits []exit
+
+	ast.Inspect(u.declBlk, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pool, method := poolCall(info, n); pool == u.pool && method == "Put" {
+				releases = append(releases, n.Pos())
+			} else if escapesThrough(info, n, u.local) {
+				releases = append(releases, n.Pos())
+			}
+		case *ast.SendStmt:
+			if usesObject(info, n.Value, u.local) {
+				releases = append(releases, n.Pos())
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if usesObject(info, el, u.local) {
+					releases = append(releases, n.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			// Aliasing or storing the value counts as a transfer.
+			for _, rhs := range n.Rhs {
+				if usesObject(info, rhs, u.local) {
+					releases = append(releases, n.Pos())
+				}
+			}
+		case *ast.ReturnStmt:
+			if n.Pos() > u.getPos {
+				for _, r := range n.Results {
+					if usesObject(info, r, u.local) {
+						releases = append(releases, n.Pos())
+					}
+				}
+				exits = append(exits, exit{pos: n.Pos(), desc: "return"})
+			}
+		case *ast.BranchStmt:
+			if n.Pos() > u.getPos && (n.Tok == token.BREAK || n.Tok == token.CONTINUE) {
+				exits = append(exits, exit{pos: n.Pos(), desc: n.Tok.String()})
+			}
+		case *ast.FuncLit:
+			// A nested literal is a different scope: its returns do not
+			// leave the declaring block, and a Get inside it is tracked
+			// separately. Only descend when this Get lives inside it.
+			return u.getPos >= n.Pos() && u.getPos < n.End()
+		}
+		return true
+	})
+	// Falling off the end of the block is an exit too, unless the
+	// block's last statement is a return (already recorded above).
+	if n := len(u.declBlk.List); n == 0 || !isReturn(u.declBlk.List[n-1]) {
+		exits = append(exits, exit{pos: u.declBlk.End(), desc: "end of scope"})
+	}
+
+	// A release covers an exit when it comes after the Get, not after
+	// the exit, and its innermost enclosing block also encloses the
+	// exit — i.e. the exit cannot be reached around the release's
+	// branch.
+	dominated := func(e exit) bool {
+		for _, r := range releases {
+			if r < u.getPos || r > e.pos {
+				continue
+			}
+			if lo, hi, ok := scopeExtentAt(u.declBlk, r); ok && e.pos >= lo && e.pos <= hi {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range exits {
+		if !dominated(e) {
+			pass.Reportf(e.pos, "FX001: pooled %s obtained from %s.Get at %v leaks at this %s: no Put or ownership transfer on this path",
+				u.local.Name(), u.pool.Name(), pass.Fset.Position(u.getPos), e.desc)
+		}
+	}
+}
+
+func isReturn(s ast.Stmt) bool {
+	_, ok := s.(*ast.ReturnStmt)
+	return ok
+}
+
+// scopeExtentAt returns the extent of the innermost block-like scope —
+// a BlockStmt, or the body of a case/comm clause — within root that
+// covers pos.
+func scopeExtentAt(root *ast.BlockStmt, pos token.Pos) (lo, hi token.Pos, ok bool) {
+	if pos < root.Pos() || pos > root.End() {
+		return 0, 0, false
+	}
+	lo, hi = root.Pos(), root.End()
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if n.Pos() > pos || n.End() < pos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			lo, hi = n.Pos(), n.End()
+		case *ast.CaseClause:
+			if pos > n.Colon {
+				lo, hi = n.Colon, n.End()
+			}
+		case *ast.CommClause:
+			if pos > n.Colon {
+				lo, hi = n.Colon, n.End()
+			}
+		}
+		return true
+	})
+	return lo, hi, true
+}
+
+// escapesThrough reports whether the call passes the tracked variable
+// as a direct argument (ownership transfer to the callee).
+func escapesThrough(info *types.Info, call *ast.CallExpr, local types.Object) bool {
+	for _, arg := range call.Args {
+		if usesObject(info, arg, local) {
+			return true
+		}
+	}
+	return false
+}
+
+// usesObject reports whether the expression is exactly the tracked
+// variable.
+func usesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.ObjectOf(id) == obj
+}

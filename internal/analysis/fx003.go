@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FX003 enforces Stats completeness: differential and resume tests
+// compare exploration runs through Stats.Semantic(), so every field of
+// core.Stats must be consciously classified — either zeroed by
+// Semantic() (runtime telemetry: solver effort, cache counters,
+// pipeline gauges) or listed in the package's statsSemanticFields
+// allowlist (semantic counters that must match across cache modes,
+// worker counts and resume splits). A new field that is neither breaks
+// the build's vet step instead of silently corrupting the differential
+// tests. Every field of Stats and of the named struct types reachable
+// from it must also carry a json tag, because Stats rides in
+// checkpoint snapshots and -json output.
+var FX003 = &Analyzer{
+	Name: "fx003",
+	Code: "FX003",
+	Doc: "check that every core.Stats field is zeroed by Semantic() or " +
+		"allowlisted in statsSemanticFields, and carries a json tag",
+	Run: runFX003,
+}
+
+func runFX003(pass *Pass) error {
+	if !ScopedTo(pass.Pkg, "core") {
+		return nil
+	}
+	statsObj := pass.Pkg.Scope().Lookup("Stats")
+	if statsObj == nil {
+		return nil // not the explorer core (e.g. an unrelated "core" package)
+	}
+	statsNamed, ok := statsObj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	statsStruct, ok := statsNamed.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+
+	semantic := findMethodDecl(pass, "Stats", "Semantic")
+	if semantic == nil {
+		pass.Reportf(statsObj.Pos(), "FX003: core.Stats has no Semantic() method to normalize telemetry fields")
+		return nil
+	}
+	zeroed := receiverFieldAssignments(pass, semantic)
+	allow, allowPos := stringBoolMapLiteral(pass, "statsSemanticFields")
+	if allow == nil {
+		pass.Reportf(statsObj.Pos(), "FX003: package has no statsSemanticFields allowlist declaring which Stats fields Semantic() preserves")
+		allow = map[string]bool{}
+	}
+
+	fields := map[string]bool{}
+	for i := 0; i < statsStruct.NumFields(); i++ {
+		f := statsStruct.Field(i)
+		fields[f.Name()] = true
+		switch {
+		case zeroed[f.Name()] && allow[f.Name()]:
+			pass.Reportf(f.Pos(), "FX003: Stats field %s is both zeroed by Semantic() and allowlisted in statsSemanticFields; pick one", f.Name())
+		case !zeroed[f.Name()] && !allow[f.Name()]:
+			pass.Reportf(f.Pos(), "FX003: Stats field %s is neither zeroed by Semantic() nor allowlisted in statsSemanticFields: classify it as telemetry or semantics", f.Name())
+		}
+	}
+	for name := range allow {
+		if !fields[name] {
+			pass.Reportf(allowPos.Pos(), "FX003: statsSemanticFields entry %q names no Stats field", name)
+		}
+	}
+
+	checkJSONTags(pass, statsNamed)
+	return nil
+}
+
+// checkJSONTags requires a json tag on every field of the named struct
+// and of every named struct in the same package reachable through its
+// field types.
+func checkJSONTags(pass *Pass, root *types.Named) {
+	seen := map[*types.Named]bool{}
+	var visit func(n *types.Named)
+	visit = func(n *types.Named) {
+		if n == nil || seen[n] || n.Obj().Pkg() != pass.Pkg {
+			return
+		}
+		seen[n] = true
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if !strings.Contains(st.Tag(i), `json:"`) {
+				pass.Reportf(f.Pos(), "FX003: field %s.%s has no json tag; Stats rides in checkpoints and -json output", n.Obj().Name(), f.Name())
+			}
+			visit(namedStructOf(f.Type()))
+		}
+	}
+	visit(root)
+}
+
+// namedStructOf unwraps slices, arrays, pointers and maps down to a
+// named struct type, or nil.
+func namedStructOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				return u
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// findMethodDecl locates the declaration of a method by receiver type
+// name and method name.
+func findMethodDecl(pass *Pass, recvType, method string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Name.Name != method || len(fn.Recv.List) != 1 {
+				continue
+			}
+			t := fn.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == recvType {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// receiverFieldAssignments collects the receiver fields assigned in the
+// method body (s.Field = ...).
+func receiverFieldAssignments(pass *Pass, fn *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if fn.Body == nil || len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return out
+	}
+	recv := pass.TypesInfo.ObjectOf(fn.Recv.List[0].Names[0])
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == recv {
+				out[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// stringBoolMapLiteral finds a package-level `var <name> = map[string]bool{...}`
+// and returns its literal keys.
+func stringBoolMapLiteral(pass *Pass, name string) (map[string]bool, ast.Node) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, s := range gd.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					out := map[string]bool{}
+					for _, el := range cl.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if lit, ok := kv.Key.(*ast.BasicLit); ok {
+							out[strings.Trim(lit.Value, `"`)] = true
+						}
+					}
+					return out, cl
+				}
+			}
+		}
+	}
+	return nil, nil
+}

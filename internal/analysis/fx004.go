@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FX004 enforces digest completeness: checkpoint resume refuses to mix
+// runs with different semantics, and it decides by comparing
+// OptionsDigest(core.Options). Every field of Options must therefore be
+// consciously classified — either formatted into the digest or listed
+// in the package's digestExcluded map (operational knobs like progress
+// reporting and fault injection that do not change which allocations
+// are explored). A new Options field that is neither makes vet fail
+// instead of letting two semantically different runs share a
+// checkpoint.
+var FX004 = &Analyzer{
+	Name: "fx004",
+	Code: "FX004",
+	Doc: "check that every core.Options field is consumed by the checkpoint " +
+		"OptionsDigest or listed in digestExcluded",
+	Run: runFX004,
+}
+
+func runFX004(pass *Pass) error {
+	if !ScopedTo(pass.Pkg, "checkpoint") {
+		return nil
+	}
+	fn := findFuncDecl(pass, "OptionsDigest")
+	if fn == nil {
+		return nil
+	}
+	optStruct, optName := digestParamStruct(pass, fn)
+	if optStruct == nil {
+		pass.Reportf(fn.Name.Pos(), "FX004: OptionsDigest does not take an Options struct parameter")
+		return nil
+	}
+
+	consumed := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if recv := namedStructOf(s.Recv()); recv != nil && recv.Obj().Name() == optName {
+				consumed[s.Obj().Name()] = true
+			}
+		}
+		return true
+	})
+
+	excluded, exclPos := stringBoolMapLiteral(pass, "digestExcluded")
+	if excluded == nil {
+		pass.Reportf(fn.Name.Pos(), "FX004: package has no digestExcluded map declaring which Options fields the digest deliberately skips")
+		excluded = map[string]bool{}
+	}
+
+	fields := map[string]bool{}
+	for i := 0; i < optStruct.NumFields(); i++ {
+		f := optStruct.Field(i)
+		fields[f.Name()] = true
+		switch {
+		case consumed[f.Name()] && excluded[f.Name()]:
+			pass.Reportf(fn.Name.Pos(), "FX004: Options field %s is digested but also listed in digestExcluded; drop one", f.Name())
+		case !consumed[f.Name()] && !excluded[f.Name()]:
+			pass.Reportf(fn.Name.Pos(), "FX004: Options field %s is neither consumed by OptionsDigest nor listed in digestExcluded: semantic fields must enter the digest", f.Name())
+		}
+	}
+	if exclPos != nil {
+		for name := range excluded {
+			if !fields[name] {
+				pass.Reportf(exclPos.Pos(), "FX004: digestExcluded entry %q names no Options field", name)
+			}
+		}
+	}
+	return nil
+}
+
+// digestParamStruct returns the struct type and type name of the
+// function's Options parameter (a named struct whose name ends in
+// "Options", by value or pointer).
+func digestParamStruct(pass *Pass, fn *ast.FuncDecl) (*types.Struct, string) {
+	if fn.Type.Params == nil {
+		return nil, ""
+	}
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if named := namedStructOf(t); named != nil && containsFold(named.Obj().Name(), "options") {
+			return named.Underlying().(*types.Struct), named.Obj().Name()
+		}
+	}
+	return nil, ""
+}
+
+// findFuncDecl locates a package-level function declaration by name.
+func findFuncDecl(pass *Pass, name string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Name.Name == name {
+				return fn
+			}
+		}
+	}
+	return nil
+}

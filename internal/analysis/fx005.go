@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FX005 enforces context polling in the explorer hot paths, so that
+// cancellation (SIGINT, deadline, anytime checkpointing) is observed
+// promptly instead of only between top-level phases. Two shapes are
+// checked inside packages named "core":
+//
+//   - enumeration callbacks: a function literal passed to an
+//     Enumerate call must poll the context;
+//   - channel-drain loops: a `for ... range ch` over a channel, in a
+//     function that has a context in scope (parameter or receiver
+//     field), must poll the context in its body.
+//
+// Polling may be delegated: calling a same-package function, method or
+// local closure whose body polls (transitively) satisfies the check,
+// which is how worker loops that do all their work in an evaluate
+// method comply.
+var FX005 = &Analyzer{
+	Name: "fx005",
+	Code: "FX005",
+	Doc: "check that enumeration callbacks and channel-drain loops in the " +
+		"explorer poll ctx.Err()/Done(), directly or via a callee that does",
+	Run: runFX005,
+}
+
+func runFX005(pass *Pass) error {
+	if !ScopedTo(pass.Pkg, "core") {
+		return nil
+	}
+	c := newPollChecker(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !c.hasContextAccess(fn) {
+				// A function with no context in scope cannot poll one;
+				// cancellation of such paths is the caller's concern.
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					c.checkEnumerateCallback(call)
+				}
+				return true
+			})
+			c.checkChannelLoops(fn.Body)
+		}
+	}
+	return nil
+}
+
+// pollChecker resolves "does this code poll the context" queries with
+// delegation through same-package callees.
+type pollChecker struct {
+	pass     *Pass
+	funcs    map[types.Object]*ast.FuncDecl // package functions and methods
+	closures map[types.Object]*ast.FuncLit  // f := func(...) {...} bindings
+	memo     map[types.Object]pollState
+}
+
+type pollState int
+
+const (
+	pollUnknown pollState = iota
+	pollInProgress
+	pollYes
+	pollNo
+)
+
+func newPollChecker(pass *Pass) *pollChecker {
+	c := &pollChecker{
+		pass:     pass,
+		funcs:    map[types.Object]*ast.FuncDecl{},
+		closures: map[types.Object]*ast.FuncLit{},
+		memo:     map[types.Object]pollState{},
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					if obj := pass.TypesInfo.Defs[n.Name]; obj != nil {
+						c.funcs[obj] = n
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(n.Lhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+							c.closures[obj] = lit
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return c
+}
+
+// checkEnumerateCallback flags function literals handed to an
+// Enumerate call that never poll the context.
+func (c *pollChecker) checkEnumerateCallback(call *ast.CallExpr) {
+	fn := CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Enumerate" {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if !c.polls(lit.Body, nil) {
+			c.pass.Reportf(lit.Pos(), "FX005: enumeration callback never polls the context; check ctx.Err() so cancellation stops the scan promptly")
+		}
+	}
+}
+
+// checkChannelLoops flags range-over-channel loops whose bodies never
+// poll the context.
+func (c *pollChecker) checkChannelLoops(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are checked where they are used
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := c.pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		if !c.polls(rng.Body, nil) {
+			c.pass.Reportf(rng.Pos(), "FX005: channel-drain loop never polls the context; a cancelled run would keep consuming jobs")
+		}
+		return true
+	})
+}
+
+// hasContextAccess reports whether the function can reach a
+// context.Context: a parameter of that type, or a receiver whose
+// struct type carries a context field.
+func (c *pollChecker) hasContextAccess(fn *ast.FuncDecl) bool {
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			if IsContextType(c.pass.TypesInfo.TypeOf(f.Type)) {
+				return true
+			}
+		}
+	}
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if named := namedStructOf(c.pass.TypesInfo.TypeOf(fn.Recv.List[0].Type)); named != nil {
+			st := named.Underlying().(*types.Struct)
+			for i := 0; i < st.NumFields(); i++ {
+				if IsContextType(st.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// polls reports whether the node contains a context poll, following
+// calls into same-package functions, methods and local closures. seen
+// guards against recursion.
+func (c *pollChecker) polls(n ast.Node, seen map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := CalleeFunc(c.pass.TypesInfo, call)
+		if fn != nil {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "context" && (fn.Name() == "Err" || fn.Name() == "Done") {
+				found = true
+				return false
+			}
+			if c.callablePolls(fn, seen) {
+				found = true
+				return false
+			}
+			return true
+		}
+		// Calls through local closure variables.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+				if c.callablePolls(obj, seen) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callablePolls answers the delegation query for one callee object,
+// memoized across the package.
+func (c *pollChecker) callablePolls(obj types.Object, seen map[types.Object]bool) bool {
+	switch c.memo[obj] {
+	case pollYes:
+		return true
+	case pollNo, pollInProgress:
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Object]bool{}
+	}
+	if seen[obj] {
+		return false
+	}
+	seen[obj] = true
+
+	var body *ast.BlockStmt
+	if decl, ok := c.funcs[obj]; ok {
+		body = decl.Body
+	} else if lit, ok := c.closures[obj]; ok {
+		body = lit.Body
+	}
+	if body == nil {
+		return false
+	}
+	c.memo[obj] = pollInProgress
+	if c.polls(body, seen) {
+		c.memo[obj] = pollYes
+		return true
+	}
+	c.memo[obj] = pollNo
+	return false
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FX006 enforces determinism in the packages whose outputs are
+// compared across runs (core, alloc, checkpoint, faultinject):
+// differential tests, resume digests and golden files all assume that
+// the same problem explored twice produces byte-identical results.
+// Three sources of nondeterminism are flagged:
+//
+//   - time.Now(): wall-clock values leak into results; telemetry
+//     gauges that legitimately measure elapsed time carry a
+//     //flexvet:ignore FX006 directive;
+//   - unseeded randomness: package-level math/rand and math/rand/v2
+//     functions share a process-global, randomly seeded source.
+//     Constructing an explicit seeded generator (rand.New,
+//     rand.NewSource, rand.NewPCG, rand.NewChaCha8) is allowed;
+//   - map-order-dependent output: ranging over a map while appending
+//     to a slice or printing/serializing makes output depend on Go's
+//     randomized map iteration order. Collecting then sorting is the
+//     sanctioned pattern — a sort call after the loop in the same
+//     block clears the finding.
+var FX006 = &Analyzer{
+	Name: "fx006",
+	Code: "FX006",
+	Doc: "check for wall-clock reads, unseeded randomness and " +
+		"map-iteration-order-dependent output in deterministic packages",
+	Run: runFX006,
+}
+
+// fx006RandConstructors are the math/rand entry points that build an
+// explicitly seeded generator and are therefore deterministic.
+var fx006RandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runFX006(pass *Pass) error {
+	if !ScopedTo(pass.Pkg, "core", "alloc", "checkpoint", "faultinject") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkClockAndRand(pass, n)
+			case *ast.RangeStmt:
+				checkMapRangeOrder(pass, parents, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkClockAndRand(pass *Pass, call *ast.CallExpr) {
+	fn := CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods on *rand.Rand etc. are seeded-instance calls
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(), "FX006: time.Now in a deterministic package; results must not depend on the wall clock")
+		}
+	case "math/rand", "math/rand/v2":
+		if !fx006RandConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "FX006: package-level %s.%s uses the process-global random source; construct a seeded *rand.Rand instead",
+				PathBase(fn.Pkg().Path()), fn.Name())
+		}
+	}
+}
+
+// checkMapRangeOrder flags a range over a map whose body emits ordered
+// output (append, fmt printing, builder/buffer writes) with no sort
+// call after the loop in the enclosing statement list.
+func checkMapRangeOrder(pass *Pass, parents map[ast.Node]ast.Node, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if !emitsOrderedOutput(pass, rng.Body) {
+		return
+	}
+	if sortFollows(pass, parents, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "FX006: output built while ranging over a map depends on random iteration order; collect and sort (a sort after the loop in the same block is recognized)")
+}
+
+// emitsOrderedOutput reports whether the loop body appends to a slice,
+// prints via fmt, or writes to a strings.Builder/bytes.Buffer — all
+// operations whose result observes iteration order.
+func emitsOrderedOutput(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "append" {
+				found = true
+				return false
+			}
+		}
+		fn := CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") ||
+			strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Sprint") ||
+			strings.HasPrefix(fn.Name(), "Append")) {
+			found = true
+			return false
+		}
+		if recv := ReceiverNamed(fn); recv != nil && strings.HasPrefix(fn.Name(), "Write") {
+			obj := recv.Obj()
+			if obj.Pkg() != nil && ((obj.Pkg().Path() == "strings" && obj.Name() == "Builder") ||
+				(obj.Pkg().Path() == "bytes" && obj.Name() == "Buffer")) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortFollows reports whether a sort.* or slices.Sort* call appears
+// after the range statement in its enclosing statement list.
+func sortFollows(pass *Pass, parents map[ast.Node]ast.Node, rng *ast.RangeStmt) bool {
+	// Find the statement list holding the loop (possibly via labeled
+	// statements) and the loop's index in it.
+	stmt := ast.Node(rng)
+	for {
+		p := parents[stmt]
+		if _, ok := p.(*ast.LabeledStmt); ok {
+			stmt = p
+			continue
+		}
+		break
+	}
+	var list []ast.Stmt
+	switch p := parents[stmt].(type) {
+	case *ast.BlockStmt:
+		list = p.List
+	case *ast.CaseClause:
+		list = p.Body
+	case *ast.CommClause:
+		list = p.Body
+	default:
+		return false
+	}
+	after := false
+	for _, s := range list {
+		if s == stmt {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		sorted := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path == "sort" || (path == "slices" && strings.Contains(fn.Name(), "Sort")) {
+				sorted = true
+				return false
+			}
+			return true
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}
+
+// buildParents records each node's parent within the file.
+func buildParents(file *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// FX007 enforces error wrapping: a fmt.Errorf whose operand is an
+// error must use %w for it, so errors.Is/errors.As keep working
+// through the explorer's layered contexts (CLI → runner → core →
+// alloc). Formatting an error with %v or %s severs the chain and makes
+// sentinel checks (context.Canceled, fs.ErrNotExist, checkpoint
+// mismatches) silently fail at outer layers. Go ≥1.20 permits several
+// %w verbs in one format string, so there is no excuse to demote a
+// second error operand to %v.
+var FX007 = &Analyzer{
+	Name: "fx007",
+	Code: "FX007",
+	Doc:  "check that fmt.Errorf wraps error operands with %w, not %v or %s",
+	Run:  runFX007,
+}
+
+func runFX007(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := CalleeFunc(pass.TypesInfo, call)
+			if !IsPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			verbs := formatVerbs(format)
+			operands := call.Args[1:]
+			for i, verb := range verbs {
+				if i >= len(operands) {
+					break
+				}
+				if verb == 'w' {
+					continue
+				}
+				t := pass.TypesInfo.TypeOf(operands[i])
+				if t == nil || t == types.Typ[types.UntypedNil] {
+					continue
+				}
+				if types.AssignableTo(t, errType) {
+					pass.Reportf(operands[i].Pos(), "FX007: error operand formatted with %%%c; use %%w so errors.Is/As see through the wrap", verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// formatVerbs returns the verb characters consuming successive
+// operands, in order. Width/precision stars consume an operand and are
+// recorded as '*'; explicit argument indexes ("%[1]d") are not handled
+// and stop the scan conservatively.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '[' {
+				return verbs // explicit index: bail out conservatively
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

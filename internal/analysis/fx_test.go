@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFX001(t *testing.T) { analysistest.Run(t, "testdata", analysis.FX001, "fx001") }
+func TestFX002(t *testing.T) { analysistest.Run(t, "testdata", analysis.FX002, "fx002/core") }
+func TestFX003(t *testing.T) { analysistest.Run(t, "testdata", analysis.FX003, "fx003/core") }
+func TestFX004(t *testing.T) { analysistest.Run(t, "testdata", analysis.FX004, "fx004/checkpoint") }
+func TestFX005(t *testing.T) { analysistest.Run(t, "testdata", analysis.FX005, "fx005/core") }
+func TestFX006(t *testing.T) { analysistest.Run(t, "testdata", analysis.FX006, "fx006/core") }
+func TestFX007(t *testing.T) { analysistest.Run(t, "testdata", analysis.FX007, "fx007") }
+
+// TestRepoClean is the acceptance gate: the whole module must be free
+// of FX findings (modulo documented //flexvet:ignore directives).
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.LoadPackages("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, p := range pkgs {
+		diags, err := analysis.RunAnalyzers(p, analysis.All())
+		if err != nil {
+			t.Fatalf("run analyzers on %s: %v", p.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", p.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}

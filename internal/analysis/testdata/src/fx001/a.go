@@ -1,0 +1,64 @@
+// Fixtures for FX001 pool-pairing.
+package fx001
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]int, 0, 16); return &b }}
+
+// leakEarlyReturn: the early return bypasses the Put at the end.
+func leakEarlyReturn(n int) {
+	buf := pool.Get().(*[]int)
+	if n > 0 {
+		return // want `FX001: pooled buf .* leaks at this return`
+	}
+	pool.Put(buf)
+}
+
+// leakNoPut: no Put anywhere, leak reported at the return.
+func leakNoPut() int {
+	buf := pool.Get().(*[]int)
+	*buf = (*buf)[:0]
+	return len(*buf) // want `FX001: pooled buf .* leaks at this return`
+}
+
+// cleanDefer: a deferred Put covers every exit.
+func cleanDefer(n int) int {
+	buf := pool.Get().(*[]int)
+	defer pool.Put(buf)
+	if n > 0 {
+		return 1
+	}
+	return 0
+}
+
+// cleanBothPaths: each path releases before leaving.
+func cleanBothPaths(n int) {
+	buf := pool.Get().(*[]int)
+	if n > 0 {
+		pool.Put(buf)
+		return
+	}
+	pool.Put(buf)
+}
+
+// cleanTransferReturn: returning the value transfers ownership to the
+// caller.
+func cleanTransferReturn() *[]int {
+	buf := pool.Get().(*[]int)
+	return buf
+}
+
+// cleanTransferCall: handing the value to a callee transfers ownership.
+func cleanTransferCall() {
+	buf := pool.Get().(*[]int)
+	sink(buf)
+}
+
+// cleanTransferSend: sending the value on a channel transfers
+// ownership.
+func cleanTransferSend(ch chan *[]int) {
+	buf := pool.Get().(*[]int)
+	ch <- buf
+}
+
+func sink(*[]int) {}

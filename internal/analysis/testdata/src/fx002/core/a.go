@@ -1,0 +1,42 @@
+// Fixtures for FX002 atomic-bound discipline.
+package core
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+type pipeline struct {
+	bound atomic.Uint64
+	count atomic.Uint64
+}
+
+//flexvet:bound-helper
+func (p *pipeline) loadBound() float64 { return math.Float64frombits(p.bound.Load()) }
+
+//flexvet:bound-helper
+func (p *pipeline) storeBound(f float64) { p.bound.Store(math.Float64bits(f)) }
+
+// goodViaHelper publishes the bound only through the helpers.
+func goodViaHelper(p *pipeline, f float64) float64 {
+	if f > p.loadBound() {
+		p.storeBound(f)
+	}
+	return p.loadBound()
+}
+
+// goodOtherAtomic: atomics that are not the bound stay unrestricted.
+func goodOtherAtomic(p *pipeline) uint64 {
+	return p.count.Load()
+}
+
+// badRawLoad bypasses the helper: both the bit conversion and the
+// field access are flagged.
+func badRawLoad(p *pipeline) float64 {
+	return math.Float64frombits(p.bound.Load()) // want `FX002: raw math.Float64frombits` `FX002: direct access to atomic bound field`
+}
+
+// badRawStore bypasses the helper on the write side.
+func badRawStore(p *pipeline, f float64) {
+	p.bound.Store(math.Float64bits(f)) // want `FX002: raw math.Float64bits` `FX002: direct access to atomic bound field`
+}

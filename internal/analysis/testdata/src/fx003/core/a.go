@@ -1,0 +1,25 @@
+// Fixtures for FX003 Stats completeness.
+package core
+
+// statsSemanticFields declares which Stats fields Semantic preserves.
+var statsSemanticFields = map[string]bool{ // want `FX003: statsSemanticFields entry "Ghost" names no Stats field`
+	"Scanned": true,
+	"Dup":     true,
+	"Ghost":   true,
+}
+
+type Stats struct {
+	Scanned int `json:"scanned"`
+	Cache   int `json:"cache"`
+	Oops    int `json:"oops"` // want `FX003: Stats field Oops is neither zeroed by Semantic\(\) nor allowlisted`
+	NoTag   int // want `FX003: field Stats.NoTag has no json tag`
+	Dup     int `json:"dup"` // want `FX003: Stats field Dup is both zeroed by Semantic\(\) and allowlisted`
+}
+
+// Semantic zeroes the telemetry fields.
+func (s Stats) Semantic() Stats {
+	s.Cache = 0
+	s.NoTag = 0
+	s.Dup = 0
+	return s
+}

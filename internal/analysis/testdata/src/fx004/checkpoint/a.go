@@ -1,0 +1,20 @@
+// Fixtures for FX004 digest completeness.
+package checkpoint
+
+import (
+	"fmt"
+
+	"fx004/core"
+)
+
+// digestExcluded lists the Options fields the digest deliberately
+// skips.
+var digestExcluded = map[string]bool{ // want `FX004: digestExcluded entry "Phantom" names no Options field`
+	"Progress": true,
+	"Phantom":  true,
+}
+
+// OptionsDigest consumes Timing and Weighted but forgets Mystery.
+func OptionsDigest(o core.Options) string { // want `FX004: Options field Mystery is neither consumed by OptionsDigest nor listed in digestExcluded`
+	return fmt.Sprintf("%v|%v", o.Timing, o.Weighted)
+}

@@ -1,0 +1,9 @@
+// Fixture dependency for FX004: the Options struct being digested.
+package core
+
+type Options struct {
+	Timing   bool
+	Weighted bool
+	Progress bool
+	Mystery  bool
+}

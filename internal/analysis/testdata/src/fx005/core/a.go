@@ -1,0 +1,85 @@
+// Fixtures for FX005 context polling.
+package core
+
+import "context"
+
+// Enumerate stands in for the allocation enumerator the explorers
+// drive.
+func Enumerate(n int, fn func(int) bool) {
+	for i := 0; i < n; i++ {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
+// scanBad: the enumeration callback never observes cancellation.
+func scanBad(ctx context.Context, n int) int {
+	seen := 0
+	Enumerate(n, func(c int) bool { // want `FX005: enumeration callback never polls the context`
+		seen += c
+		return true
+	})
+	return seen
+}
+
+// scanGood polls ctx.Err directly in the callback.
+func scanGood(ctx context.Context, n int) int {
+	seen := 0
+	Enumerate(n, func(c int) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		seen += c
+		return true
+	})
+	return seen
+}
+
+type worker struct {
+	ctx  context.Context
+	jobs chan int
+	done int
+}
+
+// drainBad consumes jobs forever, even after cancellation.
+func (w *worker) drainBad() {
+	for j := range w.jobs { // want `FX005: channel-drain loop never polls the context`
+		w.done += j
+	}
+}
+
+// drainGood polls in the loop body.
+func (w *worker) drainGood() {
+	for j := range w.jobs {
+		if w.ctx.Err() != nil {
+			return
+		}
+		w.done += j
+	}
+}
+
+// drainDelegated polls through the evaluate method it calls.
+func (w *worker) drainDelegated() {
+	for j := range w.jobs {
+		w.evaluate(j)
+	}
+}
+
+func (w *worker) evaluate(j int) {
+	if w.ctx.Err() != nil {
+		return
+	}
+	w.done += j
+}
+
+// drainClosure polls through a local closure.
+func (w *worker) drainClosure() {
+	poll := func() bool { return w.ctx.Err() == nil }
+	for j := range w.jobs {
+		if !poll() {
+			return
+		}
+		w.done += j
+	}
+}

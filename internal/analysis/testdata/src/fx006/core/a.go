@@ -1,0 +1,76 @@
+// Fixtures for FX006 determinism.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// clock reads the wall clock in a deterministic package.
+func clock() int64 {
+	return time.Now().UnixNano() // want `FX006: time.Now in a deterministic package`
+}
+
+// gauge is telemetry and carries the documented escape hatch.
+func gauge() int64 {
+	//flexvet:ignore FX006 busy gauge: elapsed time is telemetry, not a result
+	return time.Now().UnixNano()
+}
+
+// roll uses the process-global, randomly seeded source.
+func roll() int {
+	return rand.Intn(6) // want `FX006: package-level rand.Intn uses the process-global random source`
+}
+
+// seeded constructs an explicit deterministic generator: allowed, and
+// its methods are unrestricted.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// orderBad builds a slice in map iteration order with no sort.
+func orderBad(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `FX006: output built while ranging over a map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// orderGood sorts after collecting, the sanctioned pattern.
+func orderGood(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printBad emits output in map iteration order.
+func printBad(m map[string]int) {
+	for k, v := range m { // want `FX006: output built while ranging over a map`
+		fmt.Println(k, v)
+	}
+}
+
+// copyMap writes into another map: order-independent, clean.
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sumMap aggregates commutatively: clean.
+func sumMap(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

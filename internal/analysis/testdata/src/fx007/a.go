@@ -1,0 +1,35 @@
+// Fixtures for FX007 error wrapping.
+package fx007
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// wrapGood uses %w: errors.Is sees through it.
+func wrapGood(err error) error {
+	return fmt.Errorf("load: %w", err)
+}
+
+// wrapBad severs the chain with %v.
+func wrapBad(err error) error {
+	return fmt.Errorf("load: %v", err) // want `FX007: error operand formatted with %v`
+}
+
+// wrapSecond demotes the second error to %s; Go 1.20+ allows two %w.
+func wrapSecond(e1, e2 error) error {
+	return fmt.Errorf("apply: %w (rollback failed: %s)", e1, e2) // want `FX007: error operand formatted with %s`
+}
+
+// nonError operands formatted with %v are fine.
+func nonError(n int) error {
+	return fmt.Errorf("count %d: %v: %w", n, "detail", errBase)
+}
+
+// stringified error values are out of scope: the author made the
+// conversion explicit.
+func stringified(err error) error {
+	return fmt.Errorf("load: %s", err.Error())
+}

@@ -77,6 +77,24 @@ func SpecDigest(s *spec.Spec) (string, error) {
 	return "sha256:" + hex.EncodeToString(sum[:]), nil
 }
 
+// digestExcluded is the documented list of core.Options fields
+// OptionsDigest deliberately leaves out of the digest: runtime hooks
+// and performance knobs that never change what a completed scan
+// returns. Every Options field must either be formatted into the
+// digest or appear here — flexvet FX004 enforces the split.
+var digestExcluded = map[string]bool{
+	// DisableCache only trades CPU for memory; differential tests
+	// assert cache on/off runs are semantically identical.
+	"DisableCache": true,
+	// Fault is the fault-injection hook used by robustness tests.
+	"Fault": true,
+	// Progress and ProgressEvery only control reporting cadence.
+	"Progress":      true,
+	"ProgressEvery": true,
+	// Resume is the mechanism consuming the digest, not an input to it.
+	"Resume": true,
+}
+
 // OptionsDigest digests the exploration options that affect the
 // candidate sequence or the per-candidate evaluation. Runtime hooks
 // (Fault, Progress, Resume) are deliberately excluded: they never

@@ -341,6 +341,23 @@ func (s Stats) Semantic() Stats {
 	return s
 }
 
+// statsSemanticFields is the exhaustive list of Stats fields Semantic()
+// preserves: the counters that must match across cache modes, worker
+// counts and resume splits. Every Stats field must appear here or be
+// zeroed in Semantic() — flexvet FX003 enforces the split, and
+// TestSemanticZeroesTelemetry exercises it at runtime.
+var statsSemanticFields = map[string]bool{
+	"DesignSpace":         true,
+	"AllocSpace":          true,
+	"Scanned":             true,
+	"PossibleAllocations": true,
+	"Estimated":           true,
+	"Attempted":           true,
+	"ECSTested":           true,
+	"Feasible":            true,
+	"Diags":               true,
+}
+
 // Result is the outcome of an exploration. Because candidates arrive
 // in nondecreasing cost, an interrupted run's Front is still exactly
 // the Pareto-optimal set of the explored prefix [0, Cursor) — a valid

@@ -91,7 +91,7 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 		results: make(chan *pipeJob, queue+workers),
 		done:    make(chan struct{}),
 	}
-	p.bound.Store(math.Float64bits(fcur))
+	p.storeBound(fcur)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -228,12 +228,28 @@ type pipeline struct {
 	busy      atomic.Int64
 }
 
+// loadBound reads the published flexibility bound. It and storeBound
+// are the only places allowed to convert the bound through
+// math.Float64bits (enforced by flexvet FX002).
+//
+//flexvet:bound-helper
+func (p *pipeline) loadBound() float64 {
+	return math.Float64frombits(p.bound.Load())
+}
+
+// storeBound publishes a new flexibility bound to the workers.
+//
+//flexvet:bound-helper
+func (p *pipeline) storeBound(f float64) {
+	p.bound.Store(math.Float64bits(f))
+}
+
 // evaluate runs the per-candidate work on a worker goroutine, mirroring
 // the sequential explorer's order of operations exactly: estimate
 // failpoint, cancellation re-check, estimation, bound check, implement
 // failpoint, implementation construction.
 func (p *pipeline) evaluate(j *pipeJob) {
-	start := time.Now()
+	start := time.Now() //flexvet:ignore FX006 busy gauge: elapsed time is telemetry, never part of results
 	defer func() { p.busy.Add(time.Since(start).Nanoseconds()) }()
 	defer func() {
 		if r := recover(); r != nil {
@@ -271,7 +287,7 @@ func (p *pipeline) evaluate(j *pipeJob) {
 	}
 	j.estimated = true
 	j.est, j.sup, j.haveSup = p.ev.estimate(j.alloc)
-	if !p.opts.DisableFlexBound && j.est <= math.Float64frombits(p.bound.Load()) {
+	if !p.opts.DisableFlexBound && j.est <= p.loadBound() {
 		return
 	}
 	j.site = SiteImplement
@@ -364,7 +380,7 @@ func (c *committer) commit(j *pipeJob) {
 				Value:      j.impl,
 			}) && j.impl.Flexibility > c.fcur {
 				c.fcur = j.impl.Flexibility
-				c.p.bound.Store(math.Float64bits(c.fcur))
+				c.p.storeBound(c.fcur)
 			}
 		}
 		// Same stopping rule as the sequential explorer: check only

@@ -22,7 +22,7 @@ func (s *Spec) AddBehaviour(interfaceID hgraph.ID, c *hgraph.Cluster, mappings [
 	if err := s.Validate(); err != nil {
 		s.Mappings = old
 		if rerr := s.Problem.RemoveCluster(c.ID); rerr != nil {
-			return fmt.Errorf("spec %q: %w (rollback failed: %v)", s.Name, err, rerr)
+			return fmt.Errorf("spec %q: %w (rollback failed: %w)", s.Name, err, rerr)
 		}
 		return err
 	}

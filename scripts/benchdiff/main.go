@@ -10,12 +10,16 @@
 // BenchmarkExploreSynthetic variant — the deterministic evaluation hot
 // path — because wall-clock numbers for the uncached and multi-worker
 // variants swing too much across runner hardware to gate in CI.
+//
+// Exit status: 0 gate passed, 1 regression, 2 operational error
+// (bad flags, unreadable or malformed input, nothing to compare).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -55,29 +59,38 @@ func load(path string) (map[string]float64, error) {
 }
 
 func main() {
-	match := flag.String("match", `^BenchmarkExploreSynthetic/cached$`,
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the exit, so tests can drive the full CLI surface.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	match := fs.String("match", `^BenchmarkExploreSynthetic/cached$`,
 		"regexp of benchmark names the regression gate applies to")
-	maxRegress := flag.Float64("max-regress", 25,
+	maxRegress := fs.Float64("max-regress", 25,
 		"fail when a gated benchmark's ns/op grows more than this percent")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-match RE] [-max-regress PCT] old.json new.json")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-match RE] [-max-regress PCT] old.json new.json")
+		return 2
 	}
 	gate, err := regexp.Compile(*match)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
-	old, err := load(flag.Arg(0))
+	old, err := load(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
-	cur, err := load(flag.Arg(1))
+	cur, err := load(fs.Arg(1))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 
 	var names []string
@@ -88,8 +101,8 @@ func main() {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between the two files")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: no common benchmarks between the two files")
+		return 2
 	}
 
 	failed := false
@@ -107,13 +120,14 @@ func main() {
 				status = "  ok (gated)"
 			}
 		}
-		fmt.Printf("%-50s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", name, o, n, delta, status)
+		fmt.Fprintf(stdout, "%-50s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", name, o, n, delta, status)
 	}
 	if gated == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark matched the gate %q\n", *match)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: no benchmark matched the gate %q\n", *match)
+		return 2
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

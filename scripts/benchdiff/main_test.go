@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench writes a minimal BENCH_explore.json with the given
+// name→ns/op entries.
+func writeBench(t *testing.T, name string, benches map[string]float64) string {
+	t.Helper()
+	var entries []string
+	for n, ns := range benches {
+		entries = append(entries, fmt.Sprintf(`{"name":%q,"ns/op":%g}`, n, ns))
+	}
+	data := fmt.Sprintf(`{"count":%d,"benchmarks":[%s]}`, len(benches), strings.Join(entries, ","))
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+const gatedName = "BenchmarkExploreSynthetic/cached"
+
+func TestPassWithinThreshold(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{gatedName: 1000})
+	cur := writeBench(t, "new.json", map[string]float64{gatedName: 1100})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok (gated)") {
+		t.Errorf("gated benchmark not marked ok:\n%s", out)
+	}
+}
+
+func TestFailBeyondThreshold(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{gatedName: 1000})
+	cur := writeBench(t, "new.json", map[string]float64{gatedName: 1300})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("regression not reported:\n%s", out)
+	}
+}
+
+// TestExactThresholdBoundary: the gate fires only beyond the
+// threshold, so exactly +25.0%% must pass.
+func TestExactThresholdBoundary(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{gatedName: 1000})
+	cur := writeBench(t, "new.json", map[string]float64{gatedName: 1250})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d on an exactly-25%% delta, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "+25.0%") {
+		t.Errorf("delta not printed as +25.0%%:\n%s", out)
+	}
+}
+
+// TestMissingGatedBenchmark: the gated key absent from the new file
+// means the gate cannot run — an operational error, not a pass.
+func TestMissingGatedBenchmark(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{gatedName: 1000, "BenchmarkOther": 50})
+	cur := writeBench(t, "new.json", map[string]float64{"BenchmarkOther": 55})
+	code, _, errOut := runDiff(t, old, cur)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "no benchmark matched the gate") {
+		t.Errorf("missing gate not diagnosed:\n%s", errOut)
+	}
+}
+
+// TestNoCommonBenchmarks: disjoint files have nothing to compare.
+func TestNoCommonBenchmarks(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{"BenchmarkA": 10})
+	cur := writeBench(t, "new.json", map[string]float64{"BenchmarkB": 10})
+	code, _, errOut := runDiff(t, old, cur)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "no common benchmarks") {
+		t.Errorf("disjoint files not diagnosed:\n%s", errOut)
+	}
+}
+
+// TestMalformedInput: truncated or non-JSON input exits 2 with a
+// diagnostic instead of panicking.
+func TestMalformedInput(t *testing.T) {
+	good := writeBench(t, "good.json", map[string]float64{gatedName: 1000})
+	for name, data := range map[string]string{
+		"truncated.json":  `{"count":1,"benchmarks":[{"name":"x"`,
+		"notjson.json":    "BenchmarkExploreSynthetic/cached 100 12345 ns/op",
+		"wrongshape.json": `{"benchmarks":"nope"}`,
+	} {
+		bad := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(bad, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, _, errOut := runDiff(t, good, bad)
+		if code != 2 {
+			t.Errorf("%s: exit = %d, want 2", name, code)
+		}
+		if !strings.Contains(errOut, name) {
+			t.Errorf("%s: file not named in diagnostic:\n%s", name, errOut)
+		}
+	}
+}
+
+// TestMissingFile: an unreadable path exits 2.
+func TestMissingFile(t *testing.T) {
+	good := writeBench(t, "good.json", map[string]float64{gatedName: 1000})
+	code, _, _ := runDiff(t, good, filepath.Join(t.TempDir(), "absent.json"))
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestBadUsage: wrong arity and bad regexps are usage errors.
+func TestBadUsage(t *testing.T) {
+	good := writeBench(t, "good.json", map[string]float64{gatedName: 1000})
+	if code, _, _ := runDiff(t, good); code != 2 {
+		t.Errorf("one file: exit = %d, want 2", code)
+	}
+	if code, _, _ := runDiff(t, "-match", "(", good, good); code != 2 {
+		t.Errorf("bad regexp: exit = %d, want 2", code)
+	}
+}

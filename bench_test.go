@@ -465,6 +465,8 @@ func BenchmarkExploreSynthetic(b *testing.B) {
 			if w > 1 {
 				b.ReportMetric(float64(st.Pipeline.CommitStalls), "commit_stalls")
 				b.ReportMetric(float64(st.Pipeline.QueueHighWater), "queue_high_water")
+				b.ReportMetric(float64(st.Pipeline.BatchesCommitted), "batches_committed")
+				b.ReportMetric(float64(st.Pipeline.BoundPublishes), "bound_publishes")
 			}
 		})
 	}

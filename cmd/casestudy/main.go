@@ -107,6 +107,7 @@ func run() int {
 	resume := flag.Bool("resume", false, "continue from the -checkpoint snapshot (default run only)")
 	cache := flag.String("cache", "on", "cross-candidate evaluation caches: on | off (off is the uncached differential/ablation baseline)")
 	workers := flag.Int("workers", 1, "parallel exploration workers for the default run (0 = GOMAXPROCS); the front is identical to sequential")
+	batch := flag.Int("batch", 0, "candidates per parallel range job (0 = adaptive); the front is identical for every batch size")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -138,6 +139,14 @@ func run() int {
 	}
 	if *workers != 1 && (*table1 || *tradeoff || *compare || *verify || *family) {
 		fmt.Fprintln(os.Stderr, "casestudy: -workers only applies to the default Pareto run")
+		return 2
+	}
+	if *batch < 0 {
+		fmt.Fprintln(os.Stderr, "casestudy: -batch must be >= 0 (0 selects adaptive sizing)")
+		return 2
+	}
+	if *batch != 0 && *workers == 1 {
+		fmt.Fprintln(os.Stderr, "casestudy: -batch only applies to parallel exploration (-workers != 1)")
 		return 2
 	}
 	prof := profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath}
@@ -173,7 +182,7 @@ func run() int {
 			return 1
 		}
 	}
-	opts := core.Options{Timing: timingPolicy(*timing), Weighted: *weighted, DisableCache: *cache == "off"}
+	opts := core.Options{Timing: timingPolicy(*timing), Weighted: *weighted, DisableCache: *cache == "off", Batch: *batch}
 
 	switch {
 	case *table1:
@@ -267,6 +276,8 @@ func run() int {
 			fmt.Printf("parallel pipeline   : %d workers, queue %d (high water %d), %d commit stalls, %s busy\n",
 				p.Workers, p.QueueDepth, p.QueueHighWater, p.CommitStalls,
 				time.Duration(p.BusyNanos).Round(time.Millisecond))
+			fmt.Printf("range jobs          : %d committed (batch size %d), %d bound publishes\n",
+				p.BatchesCommitted, p.BatchSize, p.BoundPublishes)
 		}
 		fmt.Printf("maximum flexibility : %g\n", r.MaxFlexibility)
 	}

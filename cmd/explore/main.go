@@ -48,6 +48,7 @@ type cliFlags struct {
 	objectives      string
 	upgradeFrom     string
 	workers         int
+	batch           int
 	iters           int
 	checkpointEvery int
 	timeout         time.Duration
@@ -64,6 +65,12 @@ func (f *cliFlags) problems() []string {
 	var out []string
 	if f.workers < 0 {
 		out = append(out, "-workers must be >= 0 (0 selects GOMAXPROCS)")
+	}
+	if f.batch < 0 {
+		out = append(out, "-batch must be >= 0 (0 selects adaptive sizing)")
+	}
+	if f.explicit["batch"] && f.workers == 1 {
+		out = append(out, "-batch only applies to parallel exploration (-workers != 1)")
 	}
 	if f.iters <= 0 {
 		out = append(out, "-iters must be > 0")
@@ -123,6 +130,7 @@ func run() int {
 	objectives := flag.String("objectives", "", "comma-separated extra objectives beyond cost+1/flexibility: latency, or any resource attribute (e.g. power)")
 	upgradeFrom := flag.String("upgrade-from", "", "comma-separated deployed units; explore cost-ordered upgrades (supersets only)")
 	workers := flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS); front is identical to sequential")
+	batch := flag.Int("batch", 0, "candidates per parallel range job (0 = adaptive); the front is identical for every batch size")
 	lintMode := flag.String("lint", "on", "preflight static analysis: on | off (see docs/lint-codes.md)")
 	timeout := flag.Duration("timeout", 0, "stop the scan after this duration and print the best-so-far front (0 = no limit)")
 	ckPath := flag.String("checkpoint", "", "periodically write an atomic resume snapshot to this file")
@@ -136,7 +144,7 @@ func run() int {
 
 	fl := &cliFlags{
 		algo: *algo, model: *model, objectives: *objectives, upgradeFrom: *upgradeFrom,
-		workers: *workers, iters: *iters, checkpointEvery: *ckEvery,
+		workers: *workers, batch: *batch, iters: *iters, checkpointEvery: *ckEvery,
 		timeout: *timeout, checkpoint: *ckPath, resume: *resume, cache: *cache,
 		prof:     profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath},
 		explicit: map[string]bool{},
@@ -172,7 +180,7 @@ func run() int {
 		}
 	}
 
-	opts := core.Options{Weighted: *weighted, StopAtMaxFlex: *stopMax, DisableCache: *cache == "off"}
+	opts := core.Options{Weighted: *weighted, StopAtMaxFlex: *stopMax, DisableCache: *cache == "off", Batch: *batch}
 	switch *timing {
 	case "paper":
 		opts.Timing = bind.TimingPaper
@@ -336,6 +344,8 @@ func run() int {
 			fmt.Printf("parallel pipeline    : %d workers, queue %d (high water %d), %d commit stalls, %s busy\n",
 				p.Workers, p.QueueDepth, p.QueueHighWater, p.CommitStalls,
 				time.Duration(p.BusyNanos).Round(time.Millisecond))
+			fmt.Printf("range jobs           : %d committed (batch size %d), %d bound publishes\n",
+				p.BatchesCommitted, p.BatchSize, p.BoundPublishes)
 		}
 		fmt.Printf("termination          : %s (cursor %d)\n", r.Reason, r.Cursor)
 		if len(st.Diags) > 0 {

@@ -190,6 +190,18 @@ type Candidate struct {
 // spec.Allocation is materialized only for candidates actually emitted,
 // and the callback owns that map.
 func Enumerate(s *spec.Spec, opts Options, fn func(Candidate) bool) Stats {
+	return EnumerateRange(s, opts, 0, fn)
+}
+
+// EnumerateRange is Enumerate addressed by possible-candidate index:
+// the scan itself is identical (heap order, Scanned/Possible/PrunedComm
+// counts, MaxScan), but the first start possible candidates are skipped
+// without materializing their spec.Allocation maps. Because the cost
+// order and its tie-break are deterministic, the possible-candidate
+// index is a stable address into the enumeration — a resumed or
+// range-partitioned scan replays its prefix at raw scan speed, paying
+// the map allocation only for candidates actually delivered to fn.
+func EnumerateRange(s *spec.Spec, opts Options, start int, fn func(Candidate) bool) Stats {
 	units := Units(s)
 	n := len(units)
 	stats := Stats{SearchSpace: SearchSpace(n)}
@@ -273,7 +285,7 @@ func Enumerate(s *spec.Spec, opts Options, fn func(Candidate) bool) Stats {
 	stats.Scanned++
 	if rootSupportable(nil) {
 		stats.Possible++
-		if !fn(Candidate{Allocation: spec.Allocation{}, Cost: 0}) {
+		if stats.Possible > start && !fn(Candidate{Allocation: spec.Allocation{}, Cost: 0}) {
 			return stats
 		}
 	}
@@ -293,6 +305,10 @@ func Enumerate(s *spec.Spec, opts Options, fn func(Candidate) bool) Stats {
 		case !rootSupportable(cur.idx):
 		default:
 			stats.Possible++
+			if stats.Possible <= start {
+				// Before the range: counted, never materialized.
+				break
+			}
 			a := make(spec.Allocation, len(cur.idx))
 			for _, k := range cur.idx {
 				a[units[k].ID] = true

@@ -344,3 +344,57 @@ func TestEnumerateAgainstBruteForce(t *testing.T) {
 		}
 	}
 }
+
+// TestEnumerateRangeSuffix: EnumerateRange(start) delivers exactly the
+// suffix of the full enumeration from the start-th possible candidate,
+// with identical statistics — the skipped prefix is still scanned and
+// counted, just never materialized.
+func TestEnumerateRangeSuffix(t *testing.T) {
+	s := buildFig2(t)
+	var all []Candidate
+	full := Enumerate(s, Options{}, func(c Candidate) bool {
+		all = append(all, Candidate{Allocation: c.Allocation.Clone(), Cost: c.Cost})
+		return true
+	})
+	if len(all) < 3 {
+		t.Fatalf("model too small: %d possible", len(all))
+	}
+	for _, start := range []int{0, 1, len(all) / 2, len(all) - 1, len(all), len(all) + 5} {
+		var got []Candidate
+		st := EnumerateRange(s, Options{}, start, func(c Candidate) bool {
+			got = append(got, Candidate{Allocation: c.Allocation.Clone(), Cost: c.Cost})
+			return true
+		})
+		if st != full {
+			t.Errorf("start=%d: stats %+v != full scan's %+v", start, st, full)
+		}
+		wantLen := len(all) - start
+		if wantLen < 0 {
+			wantLen = 0
+		}
+		if len(got) != wantLen {
+			t.Fatalf("start=%d: %d candidates, want %d", start, len(got), wantLen)
+		}
+		for i, c := range got {
+			want := all[start+i]
+			if c.Cost != want.Cost || !c.Allocation.Equal(want.Allocation) {
+				t.Errorf("start=%d, item %d: %v ($%g) != %v ($%g)",
+					start, i, c.Allocation, c.Cost, want.Allocation, want.Cost)
+			}
+		}
+	}
+}
+
+// TestEnumerateRangeEarlyStop: stopping inside the range keeps the
+// stats consistent (Scanned reflects only what was generated).
+func TestEnumerateRangeEarlyStop(t *testing.T) {
+	s := buildFig2(t)
+	n := 0
+	EnumerateRange(s, Options{}, 2, func(c Candidate) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("callback ran %d times after stop, want 1", n)
+	}
+}

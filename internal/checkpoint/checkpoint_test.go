@@ -430,3 +430,72 @@ func TestPipelineCheckpointCrossModeResume(t *testing.T) {
 		t.Errorf("pipelined resume of a pipeline checkpoint diverges from the full run")
 	}
 }
+
+// TestOptionsDigestIgnoresBatch: -batch only sizes the parallel
+// explorer's range jobs; the ordered commit makes results
+// batch-size-invariant, so flipping it must not invalidate an existing
+// checkpoint.
+func TestOptionsDigestIgnoresBatch(t *testing.T) {
+	base := OptionsDigest(core.Options{})
+	for _, b := range []int{1, 4, 64} {
+		if OptionsDigest(core.Options{Batch: b}) != base {
+			t.Fatalf("Batch=%d leaked into the options digest", b)
+		}
+	}
+}
+
+// TestResumeAcrossBatchSizes: a checkpoint written mid-scan — at a
+// cursor that is deliberately NOT a multiple of the resuming batch
+// size, so the resumed run re-chunks the candidate stream on different
+// boundaries — resumes under any batch size (and sequentially) and
+// still converges to the uninterrupted front.
+func TestResumeAcrossBatchSizes(t *testing.T) {
+	s := models.SetTopBox()
+	full := core.Explore(s, core.Options{})
+
+	// Snapshot from a parallel run under Batch=4 at the first progress
+	// emission past cursor 100: with ProgressEvery=1 the parallel
+	// explorer emits at every batch commit, so a cursor of the form
+	// 4k+2 (mod 64 != 0) exists in the emission stream.
+	var snap *Snapshot
+	opts := core.Options{ProgressEvery: 1, Batch: 4}
+	opts.Progress = func(p core.Progress) {
+		if snap != nil || p.Cursor < 100 || p.Cursor >= full.Cursor {
+			return
+		}
+		sn, err := Capture(s, opts, p)
+		if err != nil {
+			t.Errorf("capture: %v", err)
+			return
+		}
+		snap = sn
+	}
+	core.ExploreParallel(s, opts, 4, 8)
+	if snap == nil {
+		t.Fatal("no mid-scan checkpoint captured")
+	}
+	if snap.Cursor%64 == 0 {
+		t.Fatalf("cursor %d is a batch-64 boundary; the test wants a mid-batch resume point", snap.Cursor)
+	}
+
+	for _, batch := range []int{0, 1, 64} {
+		res, err := snap.Resume(s, core.Options{Batch: batch})
+		if err != nil {
+			t.Fatalf("Batch=%d refused the snapshot: %v", batch, err)
+		}
+		par := core.ExploreParallel(s, core.Options{Resume: res, Batch: batch}, 4, 8)
+		if !frontsEqual(par.Front, full.Front) {
+			t.Errorf("Batch=%d: resumed front diverges from the uninterrupted run", batch)
+		}
+		if par.Cursor != full.Cursor {
+			t.Errorf("Batch=%d: resumed cursor %d, want %d", batch, par.Cursor, full.Cursor)
+		}
+	}
+	res, err := snap.Resume(s, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq := core.Explore(s, core.Options{Resume: res}); !frontsEqual(seq.Front, full.Front) {
+		t.Errorf("sequential resume of a batched checkpoint diverges from the full run")
+	}
+}

@@ -99,6 +99,17 @@ type Options struct {
 	// work — so this is an ablation/verification switch, excluded from
 	// checkpoint option digests like the other runtime fields.
 	DisableCache bool
+	// Batch sets the candidate-range size of the parallel explorer's
+	// jobs (0 = adaptive: small first batches for low commit latency,
+	// ramping up to amortize channel and commit overhead, capped at
+	// the progress interval so batching never coarsens the
+	// checkpoint cadence). Like DisableCache it never changes what a
+	// run returns — the differential grid test proves fronts, cursors
+	// and semantic counters are bit-identical across batch sizes — so
+	// it is excluded from checkpoint option digests and a snapshot
+	// taken under one batch size resumes under any other. Sequential
+	// exploration ignores it.
+	Batch int
 
 	// The fields below configure the anytime runtime, not the
 	// exploration semantics: they never change which front a completed
@@ -277,10 +288,19 @@ type PipelineStats struct {
 	// starves it.
 	QueueDepth     int `json:"queueDepth,omitempty"`
 	QueueHighWater int `json:"queueHighWater,omitempty"`
-	// CommitStalls counts results that reached the ordered-commit stage
-	// before an earlier candidate had finished and waited in the
+	// CommitStalls counts range jobs that reached the ordered-commit
+	// stage before an earlier range had finished and waited in the
 	// reorder buffer.
 	CommitStalls int `json:"commitStalls,omitempty"`
+	// BatchSize is the largest candidate-range size the run used (an
+	// adaptive run ramps up to it); BatchesCommitted counts the range
+	// archives folded into the front by the ordered-commit stage; and
+	// BoundPublishes counts publications of the shared flexibility
+	// bound to the workers — at most one per committed batch plus the
+	// initial seed, which is the relaxed cadence's observable form.
+	BatchSize        int `json:"batchSize,omitempty"`
+	BatchesCommitted int `json:"batchesCommitted,omitempty"`
+	BoundPublishes   int `json:"boundPublishes,omitempty"`
 	// BusyNanos sums the wall-clock time workers spent evaluating
 	// candidates; BusyNanos / (elapsed × Workers) approximates pool
 	// utilization.

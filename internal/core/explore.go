@@ -34,23 +34,21 @@ func ExploreContext(ctx context.Context, s *spec.Spec, opts Options) *Result {
 	res := &Result{MaxFlexibility: MaxFlexibility(s, opts), Reason: ReasonCompleted}
 	front := &pareto.Front{}
 	fcur, startCursor := seedResume(res, front, opts.Resume)
-	idx := 0
+	idx := startCursor
 	lastEmit := startCursor
 	res.Cursor = startCursor
+	// EnumerateRange replays the resumed prefix inside the enumeration
+	// (no allocation maps materialized); the prefix candidates are
+	// accounted here so the running count matches a from-scratch scan.
+	res.Stats.PossibleAllocations = startCursor
 
 	ev := newEvaluator(s, opts)
 	_, _, pc, _ := s.Problem.ElementCount()
-	aStats := alloc.Enumerate(s, alloc.Options{
+	aStats := alloc.EnumerateRange(s, alloc.Options{
 		IncludeUselessComm: opts.IncludeUselessComm,
 		MaxScan:            opts.MaxScan,
-	}, func(c alloc.Candidate) bool {
+	}, startCursor, func(c alloc.Candidate) bool {
 		res.Stats.PossibleAllocations++
-		if idx < startCursor {
-			// Resume: replay the deterministic enumeration up to the
-			// snapshot's cursor without re-evaluating candidates.
-			idx++
-			return true
-		}
 		if ctx.Err() != nil {
 			res.Interrupted, res.Reason = true, reasonFor(ctx)
 			return false

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"repro/internal/alloc"
-	"repro/internal/bitset"
 	"repro/internal/pareto"
 	"repro/internal/spec"
 )
@@ -21,25 +20,31 @@ import (
 // out over a pool of worker goroutines while keeping the resulting
 // front bit-for-bit identical to the sequential explorer.
 //
-// The engine is a streaming pipeline. The cost-ordered enumeration
-// feeds candidates into a bounded job channel; a fixed pool of workers
-// (spawned once, never per candidate) evaluates them against the
-// current flexibility bound, published through an atomic; and an
-// ordered-commit stage reassembles results in candidate order through a
-// reorder buffer before folding them into the Pareto front. There is no
-// batch barrier: a slow implementation stalls only the commit of later
-// candidates, never their evaluation.
+// The engine is a pipeline over *range jobs*: the cost-ordered
+// enumeration is chunked into contiguous candidate ranges (adaptive
+// size, or Options.Batch), a fixed pool of workers evaluates each
+// range against a locally cached flexibility bound and folds the
+// survivors into a private pareto.Front, and an ordered-commit stage
+// reassembles the ranges in candidate order, replays their
+// per-candidate records against the exact bound and merges the whole
+// per-batch archives into the result front (pareto.Front.Merge).
+// Compared to per-candidate jobs this removes the two serial
+// bottlenecks that flattened the scaling curve: the channel handoff
+// and the commit bookkeeping are paid once per range instead of once
+// per candidate, and the shared bound is republished once per batch
+// commit instead of once per implementation.
 //
 // Determinism is preserved by the commit order plus a second-chance
-// bound check: a worker may act on a stale (i.e. lower) bound, which
-// only causes extra work — the commit stage re-applies the exact
-// sequential bound, so fronts, cursors, termination reasons and all
-// semantic counters equal the sequential run's.
+// re-check: a worker may act on a stale (i.e. lower) bound, which only
+// causes extra implementation attempts; the commit stage replays each
+// range's records against the exact sequential bound, so fronts,
+// cursors, termination reasons and all semantic counters equal the
+// sequential run's (see committer.commitBatch for the argument).
 //
-// workers <= 0 selects GOMAXPROCS; queue <= 0 selects 8 x workers. On a
-// single-core host the pipeline adds only a few percent overhead; the
-// speedup materializes with GOMAXPROCS > 1 because candidates are
-// evaluated independently.
+// workers <= 0 selects GOMAXPROCS; queue <= 0 selects 2 x workers
+// range jobs of look-ahead. On a single-core host the pipeline adds
+// only a few percent overhead; the speedup materializes with
+// GOMAXPROCS > 1 because ranges are evaluated independently.
 func ExploreParallel(s *spec.Spec, opts Options, workers, queue int) *Result {
 	return ExploreParallelContext(context.Background(), s, opts, workers, queue)
 }
@@ -64,7 +69,7 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 		return ExploreContext(ctx, s, opts)
 	}
 	if queue <= 0 {
-		queue = 8 * workers
+		queue = 2 * workers
 	}
 	// Warm the lazy indexes of the specification before concurrent use.
 	_ = Estimate(s, spec.Allocation{}, opts)
@@ -84,13 +89,16 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 		ctx:  ctx,
 		ev:   ev,
 		opts: opts,
-		jobs: make(chan *pipeJob, queue),
+		jobs: make(chan *pipeBatch, queue),
 		// Sized so a worker can always deposit a result without
-		// blocking the commit stage's drain: at most queue+workers jobs
-		// are in flight between producer and committer.
-		results: make(chan *pipeJob, queue+workers),
+		// blocking the commit stage's drain: at most queue+workers
+		// range jobs are in flight between producer and committer.
+		results: make(chan *pipeBatch, queue+workers),
 		done:    make(chan struct{}),
 	}
+	// EnumerateRange replays the resumed prefix inside the enumeration;
+	// seed the counter so the running count matches a from-scratch scan.
+	p.possible.Store(int64(startCursor))
 	p.storeBound(fcur)
 
 	var wg sync.WaitGroup
@@ -98,9 +106,9 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range p.jobs {
-				p.evaluate(j)
-				p.results <- j
+			for b := range p.jobs {
+				p.evaluate(b)
+				p.results <- b
 			}
 		}()
 	}
@@ -116,7 +124,7 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 		fcur:     fcur,
 		next:     startCursor,
 		lastEmit: startCursor,
-		pending:  map[int]*pipeJob{},
+		pending:  map[int]*pipeBatch{},
 	}
 	commitDone := make(chan struct{})
 	go func() {
@@ -125,45 +133,66 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 	}()
 
 	// The producer: the cost-ordered enumeration runs on this
-	// goroutine and feeds the job channel.
-	idx := 0
+	// goroutine, slicing the candidate stream into contiguous range
+	// jobs. Candidate indices are assigned here, so a range job is
+	// addressed by its start index alone.
+	idx := startCursor
+	emitted := 0
 	producerCancelled := false
-	_, _, pc, _ := s.Problem.ElementCount()
-	aStats := alloc.Enumerate(s, alloc.Options{
-		IncludeUselessComm: opts.IncludeUselessComm,
-		MaxScan:            opts.MaxScan,
-	}, func(cd alloc.Candidate) bool {
-		p.possible.Add(1)
-		if idx < startCursor {
-			// Resume: replay the deterministic enumeration up to the
-			// snapshot's cursor without re-evaluating candidates.
-			idx++
-			return true
-		}
-		if ctx.Err() != nil {
-			producerCancelled = true
-			return false
-		}
-		j := &pipeJob{idx: idx, alloc: cd.Allocation}
-		idx++
+	var cur *pipeBatch
+	send := func(b *pipeBatch) bool {
 		select {
-		case p.jobs <- j:
+		case p.jobs <- b:
+			if l := int64(len(b.cands)); l > p.maxBatch.Load() {
+				p.maxBatch.Store(l)
+			}
 			if l := int64(len(p.jobs)); l > p.highWater.Load() {
 				p.highWater.Store(l)
 			}
 			return true
 		case <-p.done:
 			// The commit stage ended the scan (cancellation committed
-			// in order, or StopAtMaxFlex); j is dropped.
+			// in order, or StopAtMaxFlex); b is dropped.
 			return false
 		}
+	}
+	_, _, pc, _ := s.Problem.ElementCount()
+	aStats := alloc.EnumerateRange(s, alloc.Options{
+		IncludeUselessComm: opts.IncludeUselessComm,
+		MaxScan:            opts.MaxScan,
+	}, startCursor, func(cd alloc.Candidate) bool {
+		p.possible.Add(1)
+		if ctx.Err() != nil {
+			producerCancelled = true
+			return false
+		}
+		if cur == nil {
+			cur = &pipeBatch{
+				start: idx,
+				cands: make([]spec.Allocation, 0, opts.batchSizeFor(emitted)),
+			}
+		}
+		cur.cands = append(cur.cands, cd.Allocation)
+		idx++
+		if len(cur.cands) == cap(cur.cands) {
+			b := cur
+			cur = nil
+			emitted++
+			return send(b)
+		}
+		return true
 	})
+	if cur != nil && !producerCancelled {
+		// The scan tail: a partial final range. If send fails the scan
+		// already stopped and the tail is irrelevant.
+		send(cur)
+	}
 	close(p.jobs)
 	<-commitDone
 
 	if producerCancelled && !c.stopped {
 		// The producer observed the cancellation but every in-flight
-		// job had already completed: the scan still ends interrupted,
+		// range had already completed: the scan still ends interrupted,
 		// prefix-exact at the last committed candidate.
 		res.Interrupted, res.Reason = true, reasonFor(ctx)
 	}
@@ -171,6 +200,9 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 	res.Stats.Pipeline.QueueHighWater = int(p.highWater.Load())
 	res.Stats.Pipeline.CommitStalls = c.stalls
 	res.Stats.Pipeline.BusyNanos = p.busy.Load()
+	res.Stats.Pipeline.BatchSize = int(p.maxBatch.Load())
+	res.Stats.Pipeline.BatchesCommitted = c.batches
+	res.Stats.Pipeline.BoundPublishes = int(p.publishes.Load())
 	ev.fold(&res.Stats)
 	// A final progress event covers the scan tail past the last
 	// periodic emission, so long tails still report (and a checkpoint
@@ -189,21 +221,62 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 	return res
 }
 
-// pipeJob is one candidate travelling through the pipeline, carrying
-// its evaluation outcome from a worker to the ordered-commit stage.
-type pipeJob struct {
-	idx       int
-	alloc     spec.Allocation
-	site      string
-	est       float64
-	sup       bitset.Set
-	haveSup   bool
-	estimated bool
-	attempted bool
-	cancelled bool
-	impl      *Implementation
-	stats     Stats
-	diag      *Diag
+// batchSizeFor returns the size of the k-th range job of a run. An
+// explicit Options.Batch pins every batch to that size. The adaptive
+// default ramps 4, 8, 16, ... so the first commits land quickly (low
+// latency for Progress consumers and StopAtMaxFlex), then settles at
+// 64 candidates per job — large enough to amortize the channel handoff
+// and commit bookkeeping, small enough to keep the reorder buffer and
+// the cancellation overshoot bounded. When progress reporting is on,
+// the ramp is additionally capped at the progress interval so batch
+// commits never emit coarser than ProgressEvery.
+func (o Options) batchSizeFor(k int) int {
+	if o.Batch > 0 {
+		return o.Batch
+	}
+	limit := 64
+	if o.Progress != nil && o.progressEvery() < limit {
+		limit = o.progressEvery()
+	}
+	size := 4
+	for i := 0; i < k && size < limit; i++ {
+		size *= 2
+	}
+	if size > limit {
+		size = limit
+	}
+	return size
+}
+
+// pipeBatch is one contiguous candidate range travelling through the
+// pipeline: the allocations to evaluate (indices start..start+len-1 of
+// the cost-ordered enumeration), one record per candidate carrying its
+// evaluation outcome, and the worker's private archive of the
+// implementations that survived its local bound.
+type pipeBatch struct {
+	start int
+	cands []spec.Allocation
+	recs  []batchRec
+	front *pareto.Front
+}
+
+// batchRec is the per-candidate evaluation record the ordered-commit
+// stage replays against the exact flexibility bound. It carries the
+// implementation pointer as well — redundant with the batch front in
+// the common case, but required for the rare mid-batch stop, where the
+// committed prefix ends inside the range and the batch archive (which
+// covers the whole range) cannot be merged wholesale.
+type batchRec struct {
+	site         string
+	est          float64
+	estimated    bool
+	attempted    bool
+	cancelled    bool
+	impl         *Implementation
+	ecsTested    int
+	bindingRuns  int
+	bindingNodes int
+	diag         *Diag
 }
 
 // pipeline holds the shared state of one parallel run: the channels,
@@ -213,19 +286,22 @@ type pipeline struct {
 	ctx     context.Context
 	ev      *evaluator
 	opts    Options
-	jobs    chan *pipeJob
-	results chan *pipeJob
+	jobs    chan *pipeBatch
+	results chan *pipeBatch
 	// done is closed by the commit stage when the scan must stop;
 	// producer and workers treat it as a fast-path skip.
 	done chan struct{}
 	// bound is the best implemented flexibility (math.Float64bits),
-	// written by the commit stage, read by workers. A stale read only
-	// admits extra implementation attempts; the commit stage re-checks
-	// against the exact bound.
+	// written by the commit stage once per committed batch, read by
+	// workers once per batch. A stale read only admits extra
+	// implementation attempts; the commit stage re-checks against the
+	// exact bound.
 	bound     atomic.Uint64
+	publishes atomic.Int64
 	possible  atomic.Int64
 	highWater atomic.Int64
 	busy      atomic.Int64
+	maxBatch  atomic.Int64
 }
 
 // loadBound reads the published flexibility bound. It and storeBound
@@ -237,74 +313,116 @@ func (p *pipeline) loadBound() float64 {
 	return math.Float64frombits(p.bound.Load())
 }
 
-// storeBound publishes a new flexibility bound to the workers.
+// storeBound publishes a new flexibility bound to the workers and
+// counts the publication — the relaxed per-batch cadence is the
+// BoundPublishes gauge.
 //
 //flexvet:bound-helper
 func (p *pipeline) storeBound(f float64) {
 	p.bound.Store(math.Float64bits(f))
+	p.publishes.Add(1)
 }
 
-// evaluate runs the per-candidate work on a worker goroutine, mirroring
-// the sequential explorer's order of operations exactly: estimate
-// failpoint, cancellation re-check, estimation, bound check, implement
-// failpoint, implementation construction.
-func (p *pipeline) evaluate(j *pipeJob) {
+// evaluate runs one range job on a worker goroutine. The published
+// bound is read once per batch into a worker-local bound, which the
+// worker's own implemented flexibilities then raise: for any candidate
+// the local bound is never above the exact sequential bound at that
+// candidate (the atomic is at most the bound at the batch's commit
+// turn, and an own implementation's flexibility F at an earlier index
+// satisfies F <= est there, which is <= the sequential bound whenever
+// the sequential run skipped it) — so the worker attempts a superset
+// of the sequential run's attempts and skips none of them, which is
+// what makes the committer's exact replay sufficient.
+func (p *pipeline) evaluate(b *pipeBatch) {
 	start := time.Now() //flexvet:ignore FX006 busy gauge: elapsed time is telemetry, never part of results
 	defer func() { p.busy.Add(time.Since(start).Nanoseconds()) }()
+	b.recs = make([]batchRec, len(b.cands))
+	b.front = &pareto.Front{}
+	bound := p.loadBound()
+	for i := range b.cands {
+		select {
+		case <-p.done:
+			// The scan already ended at an earlier candidate; the
+			// commit stage discards this range unexamined.
+			return
+		default:
+		}
+		if p.ctx.Err() != nil {
+			b.recs[i].cancelled = true
+			return
+		}
+		bound = p.evalOne(b, i, bound)
+		if b.recs[i].cancelled {
+			return
+		}
+	}
+}
+
+// evalOne runs the per-candidate work, mirroring the sequential
+// explorer's order of operations exactly: estimate failpoint,
+// cancellation re-check, estimation, bound check, implement failpoint,
+// implementation construction. It returns the (possibly raised)
+// worker-local bound. A panic is recovered into a per-candidate Diag,
+// exactly isolating the poisoned candidate.
+func (p *pipeline) evalOne(b *pipeBatch, i int, bound float64) float64 {
+	idx := b.start + i
+	r := &b.recs[i]
 	defer func() {
-		if r := recover(); r != nil {
-			j.diag = &Diag{
-				Kind: DiagPanic, Site: j.site, Cursor: j.idx,
-				Allocation: j.alloc.String(),
-				Message:    fmt.Sprint(r),
+		if rec := recover(); rec != nil {
+			r.diag = &Diag{
+				Kind: DiagPanic, Site: r.site, Cursor: idx,
+				Allocation: b.cands[i].String(),
+				Message:    fmt.Sprint(rec),
 				Stack:      trimStack(debug.Stack()),
 			}
 		}
 	}()
-	select {
-	case <-p.done:
-		// The scan already ended at an earlier candidate; the commit
-		// stage discards this job unexamined.
-		return
-	default:
-	}
-	if p.ctx.Err() != nil {
-		j.cancelled = true
-		return
-	}
-	j.site = SiteEstimate
-	if err := p.opts.Fault.Fire(SiteEstimate, j.idx); err != nil {
-		j.diag = &Diag{
-			Kind: DiagError, Site: SiteEstimate, Cursor: j.idx,
-			Allocation: j.alloc.String(), Message: err.Error(),
+	r.site = SiteEstimate
+	if err := p.opts.Fault.Fire(SiteEstimate, idx); err != nil {
+		r.diag = &Diag{
+			Kind: DiagError, Site: SiteEstimate, Cursor: idx,
+			Allocation: b.cands[i].String(), Message: err.Error(),
 		}
-		return
+		return bound
 	}
 	if p.ctx.Err() != nil {
 		// A Cancel failpoint fired between the two checks.
-		j.cancelled = true
-		return
+		r.cancelled = true
+		return bound
 	}
-	j.estimated = true
-	j.est, j.sup, j.haveSup = p.ev.estimate(j.alloc)
-	if !p.opts.DisableFlexBound && j.est <= p.loadBound() {
-		return
+	r.estimated = true
+	est, sup, haveSup := p.ev.estimate(b.cands[i])
+	r.est = est
+	if !p.opts.DisableFlexBound && est <= bound {
+		return bound
 	}
-	j.site = SiteImplement
-	if err := p.opts.Fault.Fire(SiteImplement, j.idx); err != nil {
-		j.diag = &Diag{
-			Kind: DiagError, Site: SiteImplement, Cursor: j.idx,
-			Allocation: j.alloc.String(), Message: err.Error(),
+	r.site = SiteImplement
+	if err := p.opts.Fault.Fire(SiteImplement, idx); err != nil {
+		r.diag = &Diag{
+			Kind: DiagError, Site: SiteImplement, Cursor: idx,
+			Allocation: b.cands[i].String(), Message: err.Error(),
 		}
-		return
+		return bound
 	}
-	j.attempted = true
-	j.impl = p.ev.implement(j.alloc, j.sup, j.haveSup, &j.stats)
+	r.attempted = true
+	var st Stats
+	r.impl = p.ev.implement(b.cands[i], sup, haveSup, &st)
+	r.ecsTested, r.bindingRuns, r.bindingNodes = st.ECSTested, st.BindingRuns, st.BindingNodes
+	if r.impl != nil {
+		b.front.Add(&pareto.Entry{
+			Objectives: pareto.CostFlexObjectives(r.impl.Cost, r.impl.Flexibility),
+			Value:      r.impl,
+		})
+		if r.impl.Flexibility > bound {
+			bound = r.impl.Flexibility
+		}
+	}
+	return bound
 }
 
 // committer is the ordered-commit stage: it owns the result, the front
-// and the exact flexibility bound, folding worker results strictly in
-// candidate order through a reorder buffer.
+// and the exact flexibility bound, folding whole range jobs strictly in
+// candidate order through a reorder buffer keyed by range start.
 type committer struct {
 	p        *pipeline
 	res      *Result
@@ -312,87 +430,143 @@ type committer struct {
 	fcur     float64
 	next     int
 	lastEmit int
-	pending  map[int]*pipeJob
+	pending  map[int]*pipeBatch
 	stalls   int
+	batches  int
 	stopped  bool
 }
 
 func (c *committer) run() {
-	for j := range c.p.results {
+	for b := range c.p.results {
 		if c.stopped {
 			// Drain: the scan already ended at an earlier candidate.
 			continue
 		}
-		if j.idx != c.next {
-			c.pending[j.idx] = j
+		if b.start != c.next {
+			c.pending[b.start] = b
 			c.stalls++
 			continue
 		}
-		c.commit(j)
+		c.commitBatch(b)
 		for !c.stopped {
-			nj, ok := c.pending[c.next]
+			nb, ok := c.pending[c.next]
 			if !ok {
 				break
 			}
 			delete(c.pending, c.next)
-			c.commit(nj)
+			c.commitBatch(nb)
 		}
 	}
 }
 
-// commit folds one in-order result into the front — the same fold, in
-// the same order, as the sequential explorer's candidate loop.
-func (c *committer) commit(j *pipeJob) {
-	if j.cancelled {
-		// The commit stops at the first candidate that was not
-		// evaluated; completed jobs after it are discarded so the front
-		// stays prefix-exact.
-		c.res.Interrupted, c.res.Reason = true, reasonFor(c.p.ctx)
-		c.res.Cursor = j.idx
-		c.stop()
-		return
-	}
-	if j.estimated {
-		c.res.Stats.Estimated++
-	}
-	if j.diag != nil {
-		// Faulted or panicked: record the diagnostic, skip the
-		// candidate, keep scanning.
-		c.res.Stats.Diags = append(c.res.Stats.Diags, *j.diag)
-		c.advance(j.idx + 1)
-		return
-	}
-	// Second chance against the exact bound as of this commit: drop
-	// results the sequential run would have skipped. The atomic bound a
-	// worker saw is never above the commit-time bound (the bound only
-	// rises, in commit order), so the worker attempted a superset of
-	// the sequential run's attempts and this filter restores exact
-	// equality of fronts and counters.
-	if j.attempted && (c.p.opts.DisableFlexBound || j.est > c.fcur) {
-		c.res.Stats.Attempted++
-		c.res.Stats.ECSTested += j.stats.ECSTested
-		c.res.Stats.BindingRuns += j.stats.BindingRuns
-		c.res.Stats.BindingNodes += j.stats.BindingNodes
-		if j.impl != nil {
-			c.res.Stats.Feasible++
-			if c.front.Add(&pareto.Entry{
-				Objectives: pareto.CostFlexObjectives(j.impl.Cost, j.impl.Flexibility),
-				Value:      j.impl,
-			}) && j.impl.Flexibility > c.fcur {
-				c.fcur = j.impl.Flexibility
-				c.p.storeBound(c.fcur)
-			}
-		}
-		// Same stopping rule as the sequential explorer: check only
-		// after an attempted implementation.
-		if c.p.opts.StopAtMaxFlex && c.fcur >= c.res.MaxFlexibility {
-			c.res.Reason = ReasonMaxFlex
-			c.res.Cursor = j.idx + 1
+// commitBatch folds one in-order range job into the result — the same
+// fold, in the same order, as the sequential explorer's candidate
+// loop. The counters and the exact bound come from replaying the
+// per-candidate records; the front comes from merging the batch's
+// private archive wholesale.
+//
+// Why the wholesale merge is exact: by induction the committed front
+// is the sequential front of the prefix and c.fcur the sequential
+// bound. The worker attempted a superset of the sequential attempts
+// (see evaluate), so every implementation the sequential run folds is
+// in the batch records; the replay filter `attempted && est > fcur`
+// recovers exactly the sequential attempt set, and raising fcur by
+// each such implementation's flexibility equals the sequential
+// front.Add-gated update (an implementation with flexibility above
+// fcur is never dominated — every archived entry has flexibility
+// <= fcur). For the front itself, any *extra* survivor in the batch
+// archive (attempted only under the stale bound, est <= fcur at its
+// turn) has flexibility <= est <= fcur while the committed front
+// always holds an entry with flexibility >= fcur and cost <= the
+// batch's costs (cost-ordered scan), so Merge rejects it as
+// dominated-or-equal; and any batch-archive eviction it caused would
+// have been rejected by the sequential Add for the same reason. Equal-
+// objective ties keep the earliest entry in both designs. Hence
+// Merge(batch archive) == the per-candidate sequential fold, payloads
+// included.
+func (c *committer) commitBatch(b *pipeBatch) {
+	entry := c.fcur
+	for i := range b.recs {
+		r := &b.recs[i]
+		idx := b.start + i
+		if r.cancelled || (!r.estimated && r.diag == nil) {
+			// First unevaluated candidate: the scan ends here,
+			// prefix-exact. The batch archive covers candidates past
+			// the stop, so the prefix is refolded per candidate.
+			c.refold(b, i, entry)
+			c.res.Interrupted, c.res.Reason = true, reasonFor(c.p.ctx)
+			c.res.Cursor = idx
 			c.stop()
 			return
 		}
+		if r.estimated {
+			c.res.Stats.Estimated++
+		}
+		if r.diag != nil {
+			// Faulted or panicked: record the diagnostic, skip the
+			// candidate, keep scanning.
+			c.res.Stats.Diags = append(c.res.Stats.Diags, *r.diag)
+			continue
+		}
+		// Second chance against the exact bound as of this candidate's
+		// commit turn: drop attempts the sequential run would have
+		// skipped.
+		if r.attempted && (c.p.opts.DisableFlexBound || r.est > c.fcur) {
+			c.res.Stats.Attempted++
+			c.res.Stats.ECSTested += r.ecsTested
+			c.res.Stats.BindingRuns += r.bindingRuns
+			c.res.Stats.BindingNodes += r.bindingNodes
+			if r.impl != nil {
+				c.res.Stats.Feasible++
+				if r.impl.Flexibility > c.fcur {
+					c.fcur = r.impl.Flexibility
+				}
+			}
+			// Same stopping rule as the sequential explorer: check
+			// only after an attempted implementation.
+			if c.p.opts.StopAtMaxFlex && c.fcur >= c.res.MaxFlexibility {
+				c.refold(b, i+1, entry)
+				c.res.Reason = ReasonMaxFlex
+				c.res.Cursor = idx + 1
+				c.stop()
+				return
+			}
+		}
 	}
-	c.advance(j.idx + 1)
+	c.front.Merge(b.front)
+	if c.fcur > entry {
+		// Republish once per committed batch — the relaxed cadence.
+		c.p.storeBound(c.fcur)
+	}
+	c.batches++
+	c.advance(b.start + len(b.recs))
+}
+
+// refold is the rare mid-batch stop path (cancellation, StopAtMaxFlex):
+// the batch archive cannot be merged wholesale because it covers
+// candidates past the stopping point, so the committed prefix
+// recs[:end] is folded per candidate instead — the literal sequential
+// fold, replaying the exact-bound filter from the batch-entry bound.
+func (c *committer) refold(b *pipeBatch, end int, fcur float64) {
+	for i := 0; i < end; i++ {
+		r := &b.recs[i]
+		if r.diag != nil || !r.attempted {
+			continue
+		}
+		if !c.p.opts.DisableFlexBound && r.est <= fcur {
+			continue
+		}
+		if r.impl == nil {
+			continue
+		}
+		c.front.Add(&pareto.Entry{
+			Objectives: pareto.CostFlexObjectives(r.impl.Cost, r.impl.Flexibility),
+			Value:      r.impl,
+		})
+		if r.impl.Flexibility > fcur {
+			fcur = r.impl.Flexibility
+		}
+	}
 }
 
 func (c *committer) advance(cursor int) {
@@ -404,6 +578,9 @@ func (c *committer) advance(cursor int) {
 		c.res.Stats.Pipeline.QueueHighWater = int(c.p.highWater.Load())
 		c.res.Stats.Pipeline.CommitStalls = c.stalls
 		c.res.Stats.Pipeline.BusyNanos = c.p.busy.Load()
+		c.res.Stats.Pipeline.BatchSize = int(c.p.maxBatch.Load())
+		c.res.Stats.Pipeline.BatchesCommitted = c.batches
+		c.res.Stats.Pipeline.BoundPublishes = int(c.p.publishes.Load())
 		c.p.opts.Progress(Progress{
 			Cursor:         cursor,
 			BestFlex:       c.fcur,

@@ -32,6 +32,20 @@ awk -v count="$count" '
     }
 }
 END {
+    # Derive the parallel scaling ratio: for every workers=N variant,
+    # speedup_vs_1 = ns/op of the workers=1 variant of the same
+    # benchmark family over ns/op of this variant. The ratio is what
+    # benchdiff gates — absolute ns/op depends on the host, the ratio
+    # only on how well the pipeline scales.
+    for (b = 1; b <= nb; b++) {
+        name = order[b]
+        if (name !~ /\/workers=[0-9]+$/) continue
+        base = name; sub(/\/workers=[0-9]+$/, "/workers=1", base)
+        k = name SUBSEP "ns/op"; kb = base SUBSEP "ns/op"
+        if ((k in cnt) && (kb in cnt) && sum[k] > 0) {
+            speedup[name] = (sum[kb] / cnt[kb]) / (sum[k] / cnt[k])
+        }
+    }
     printf "{\n  \"count\": %d,\n  \"benchmarks\": [\n", count
     for (b = 1; b <= nb; b++) {
         name = order[b]
@@ -41,6 +55,7 @@ END {
             u = us[j]; k = name SUBSEP u
             printf ", \"%s\": %.6g", u, sum[k] / cnt[k]
         }
+        if (name in speedup) printf ", \"speedup_vs_1\": %.6g", speedup[name]
         printf "}%s\n", (b < nb ? "," : "")
     }
     print "  ]"

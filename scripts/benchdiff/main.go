@@ -1,17 +1,28 @@
 // Command benchdiff compares two BENCH_explore.json files (as written
 // by scripts/bench.sh) and fails when a gated benchmark's ns/op
-// regressed beyond a threshold.
+// regressed beyond a threshold, or when a gated parallel variant's
+// scaling ratio (speedup_vs_1, derived by bench.sh) fell beyond a
+// threshold.
 //
-//	go run ./scripts/benchdiff [-match RE] [-max-regress PCT] old.json new.json
+//	go run ./scripts/benchdiff [-match RE] [-max-regress PCT] \
+//	    [-scaling-match RE] [-max-scaling-loss PCT] old.json new.json
 //
 // Every benchmark present in both files is printed with its old→new
 // ns/op and the percent delta; only the benchmarks whose name matches
-// -match are gated. The default gate covers the cached
+// -match are gated on ns/op. The default gate covers the cached
 // BenchmarkExploreSynthetic variant — the deterministic evaluation hot
 // path — because wall-clock numbers for the uncached and multi-worker
 // variants swing too much across runner hardware to gate in CI.
 //
-// Exit status: 0 gate passed, 1 regression, 2 operational error
+// The scaling gate is host-portable where absolute ns/op is not: the
+// speedup_vs_1 ratio divides out the machine. It engages only for
+// -scaling-match names whose OLD (committed) entry carries a
+// speedup_vs_1 field — older baselines without the field simply leave
+// the gate inactive — and fails when the new ratio loses more than
+// -max-scaling-loss percent of the committed one, or when a
+// gated-and-committed ratio is missing from the new file.
+//
+// Exit status: 0 gates passed, 1 regression, 2 operational error
 // (bad flags, unreadable or malformed input, nothing to compare).
 package main
 
@@ -30,8 +41,17 @@ type benchFile struct {
 	Benchmarks []map[string]json.RawMessage `json:"benchmarks"`
 }
 
-// load returns benchmark name → ns/op for every entry that carries one.
-func load(path string) (map[string]float64, error) {
+// entry is one benchmark's gateable numbers: ns/op always, the scaling
+// ratio only when bench.sh derived one.
+type entry struct {
+	ns         float64
+	speedup    float64
+	hasSpeedup bool
+}
+
+// load returns benchmark name → entry for every benchmark that carries
+// an ns/op.
+func load(path string) (map[string]entry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -40,7 +60,7 @@ func load(path string) (map[string]float64, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]float64, len(f.Benchmarks))
+	out := make(map[string]entry, len(f.Benchmarks))
 	for _, b := range f.Benchmarks {
 		var name string
 		if raw, ok := b["name"]; ok {
@@ -48,12 +68,15 @@ func load(path string) (map[string]float64, error) {
 				continue
 			}
 		}
-		var ns float64
+		var e entry
 		raw, ok := b["ns/op"]
-		if name == "" || !ok || json.Unmarshal(raw, &ns) != nil || ns <= 0 {
+		if name == "" || !ok || json.Unmarshal(raw, &e.ns) != nil || e.ns <= 0 {
 			continue
 		}
-		out[name] = ns
+		if raw, ok := b["speedup_vs_1"]; ok && json.Unmarshal(raw, &e.speedup) == nil && e.speedup > 0 {
+			e.hasSpeedup = true
+		}
+		out[name] = e
 	}
 	return out, nil
 }
@@ -67,17 +90,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	match := fs.String("match", `^BenchmarkExploreSynthetic/cached$`,
-		"regexp of benchmark names the regression gate applies to")
+		"regexp of benchmark names the ns/op regression gate applies to")
 	maxRegress := fs.Float64("max-regress", 25,
 		"fail when a gated benchmark's ns/op grows more than this percent")
+	scalingMatch := fs.String("scaling-match", `^BenchmarkExploreSynthetic/workers=8$`,
+		"regexp of benchmark names the speedup_vs_1 scaling gate applies to")
+	maxScalingLoss := fs.Float64("max-scaling-loss", 20,
+		"fail when a gated benchmark's speedup_vs_1 shrinks more than this percent of the committed ratio")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: benchdiff [-match RE] [-max-regress PCT] old.json new.json")
+		fmt.Fprintln(stderr, "usage: benchdiff [-match RE] [-max-regress PCT] [-scaling-match RE] [-max-scaling-loss PCT] old.json new.json")
 		return 2
 	}
 	gate, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	scalingGate, err := regexp.Compile(*scalingMatch)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
@@ -109,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	gated := 0
 	for _, name := range names {
 		o, n := old[name], cur[name]
-		delta := (n - o) / o * 100
+		delta := (n.ns - o.ns) / o.ns * 100
 		status := ""
 		if gate.MatchString(name) {
 			gated++
@@ -120,7 +152,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 				status = "  ok (gated)"
 			}
 		}
-		fmt.Fprintf(stdout, "%-50s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", name, o, n, delta, status)
+		fmt.Fprintf(stdout, "%-50s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", name, o.ns, n.ns, delta, status)
+		if !scalingGate.MatchString(name) || !o.hasSpeedup {
+			// The scaling gate engages only where the committed baseline
+			// recorded a ratio: old baselines stay comparable.
+			continue
+		}
+		if !n.hasSpeedup {
+			fmt.Fprintf(stderr, "benchdiff: %s: committed file has speedup_vs_1 but the new file does not\n", name)
+			return 2
+		}
+		floor := o.speedup * (1 - *maxScalingLoss/100)
+		status = "  ok (scaling gated)"
+		// The relative epsilon keeps an exactly-at-threshold ratio on
+		// the passing side of the float arithmetic.
+		if n.speedup < floor*(1-1e-9) {
+			status = fmt.Sprintf("  SCALING LOSS (< %.2fx)", floor)
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%-50s %13.2fx -> %13.2fx speedup_vs_1%s\n", name, o.speedup, n.speedup, status)
 	}
 	if gated == 0 {
 		fmt.Fprintf(stderr, "benchdiff: no benchmark matched the gate %q\n", *match)

@@ -141,3 +141,108 @@ func TestBadUsage(t *testing.T) {
 		t.Errorf("bad regexp: exit = %d, want 2", code)
 	}
 }
+
+const scaledName = "BenchmarkExploreSynthetic/workers=8"
+
+// writeBenchSpeedup is writeBench with a speedup_vs_1 on every entry
+// whose value is positive.
+func writeBenchSpeedup(t *testing.T, name string, benches map[string][2]float64) string {
+	t.Helper()
+	var entries []string
+	for n, v := range benches {
+		if v[1] > 0 {
+			entries = append(entries, fmt.Sprintf(`{"name":%q,"ns/op":%g,"speedup_vs_1":%g}`, n, v[0], v[1]))
+		} else {
+			entries = append(entries, fmt.Sprintf(`{"name":%q,"ns/op":%g}`, n, v[0]))
+		}
+	}
+	data := fmt.Sprintf(`{"count":%d,"benchmarks":[%s]}`, len(benches), strings.Join(entries, ","))
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScalingGatePasses: losing less than -max-scaling-loss of the
+// committed speedup ratio passes and is reported as gated.
+func TestScalingGatePasses(t *testing.T) {
+	old := writeBenchSpeedup(t, "old.json", map[string][2]float64{
+		gatedName: {1000, 0}, scaledName: {900, 3.0},
+	})
+	cur := writeBenchSpeedup(t, "new.json", map[string][2]float64{
+		gatedName: {1000, 0}, scaledName: {950, 2.6},
+	})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok (scaling gated)") {
+		t.Errorf("scaling gate not reported:\n%s", out)
+	}
+}
+
+// TestScalingGateFails: a speedup collapse beyond the threshold (here
+// 3.0x -> 1.1x) fails the diff even though ns/op is fine.
+func TestScalingGateFails(t *testing.T) {
+	old := writeBenchSpeedup(t, "old.json", map[string][2]float64{
+		gatedName: {1000, 0}, scaledName: {900, 3.0},
+	})
+	cur := writeBenchSpeedup(t, "new.json", map[string][2]float64{
+		gatedName: {1000, 0}, scaledName: {950, 1.1},
+	})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "SCALING LOSS") {
+		t.Errorf("scaling loss not reported:\n%s", out)
+	}
+}
+
+// TestScalingGateExactBoundary: exactly -max-scaling-loss percent
+// (default 20: 3.0x -> 2.4x) still passes; the gate fires only beyond.
+func TestScalingGateExactBoundary(t *testing.T) {
+	old := writeBenchSpeedup(t, "old.json", map[string][2]float64{
+		gatedName: {1000, 0}, scaledName: {900, 3.0},
+	})
+	cur := writeBenchSpeedup(t, "new.json", map[string][2]float64{
+		gatedName: {1000, 0}, scaledName: {900, 2.4},
+	})
+	if code, out, _ := runDiff(t, old, cur); code != 0 {
+		t.Fatalf("exit = %d on an exact-threshold loss, want 0\n%s", code, out)
+	}
+}
+
+// TestScalingGateInactiveWithoutCommittedRatio: a committed baseline
+// predating speedup_vs_1 leaves the scaling gate off — the ns/op gate
+// alone decides.
+func TestScalingGateInactiveWithoutCommittedRatio(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{gatedName: 1000, scaledName: 900})
+	cur := writeBenchSpeedup(t, "new.json", map[string][2]float64{
+		gatedName: {1000, 0}, scaledName: {900, 1.0},
+	})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (no committed ratio, gate inactive)\n%s", code, out)
+	}
+	if strings.Contains(out, "scaling") {
+		t.Errorf("inactive scaling gate still reported:\n%s", out)
+	}
+}
+
+// TestScalingGateMissingNewRatio: the committed file promises a ratio
+// the new file lost — an operational error, not a silent pass.
+func TestScalingGateMissingNewRatio(t *testing.T) {
+	old := writeBenchSpeedup(t, "old.json", map[string][2]float64{
+		gatedName: {1000, 0}, scaledName: {900, 3.0},
+	})
+	cur := writeBench(t, "new.json", map[string]float64{gatedName: 1000, scaledName: 900})
+	code, _, errOut := runDiff(t, old, cur)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "speedup_vs_1") {
+		t.Errorf("missing ratio not diagnosed:\n%s", errOut)
+	}
+}

@@ -5,8 +5,15 @@
 package repro
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/bind"
@@ -15,6 +22,7 @@ import (
 	"repro/internal/flex"
 	"repro/internal/models"
 	"repro/internal/pareto"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/spec"
 )
@@ -514,4 +522,72 @@ func BenchmarkE16_TriObjective(b *testing.B) {
 		front = len(r.Front)
 	}
 	b.ReportMetric(float64(front), "front")
+}
+
+// BenchmarkServerOverhead — the service path's tax over the bare
+// runtime: the same synthetic exploration measured as a direct
+// core.Explore call and as a full loopback HTTP job lifecycle
+// (submit → poll → result fetch) against internal/server. The delta
+// between the two variants is the admission + scheduling + JSON +
+// polling overhead per job; bench.sh records both into
+// BENCH_explore.json so the service tax is tracked from day one.
+func BenchmarkServerOverhead(b *testing.B) {
+	body := `{"model": "synthetic", "seed": 1, "workers": 1}`
+	b.Run("direct", func(b *testing.B) {
+		s := models.Synthetic(models.DefaultSynthetic(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r := core.Explore(s, core.Options{}); len(r.Front) == 0 {
+				b.Fatal("empty front")
+			}
+		}
+	})
+	b.Run("http", func(b *testing.B) {
+		srv, err := server.New(server.Config{CheckpointDir: b.TempDir(), MaxRunning: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var view struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				b.Fatalf("submit: status %d", resp.StatusCode)
+			}
+			for {
+				rr, err := http.Get(ts.URL + "/jobs/" + view.ID + "/result")
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _ = io.Copy(io.Discard, rr.Body)
+				rr.Body.Close()
+				if rr.StatusCode == http.StatusOK {
+					break
+				}
+				if rr.StatusCode != http.StatusAccepted {
+					b.Fatalf("result: status %d", rr.StatusCode)
+				}
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+		b.StopTimer()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+	})
 }

@@ -85,6 +85,70 @@ func timingPolicy(name string) bind.TimingPolicy {
 	}
 }
 
+// cliFlags carries the parsed command line for validation; explicit
+// indicates which flags the user actually set (flag.Visit), so
+// incompatible-combination checks do not misfire on defaults.
+type cliFlags struct {
+	table1          bool
+	tradeoff        bool
+	compare         bool
+	verify          bool
+	family          bool
+	timeout         time.Duration
+	checkpoint      string
+	checkpointEvery int
+	resume          bool
+	cache           string
+	workers         int
+	batch           int
+	prof            profiling.Flags
+	explicit        map[string]bool
+}
+
+// modeSelected reports whether a non-default analysis mode is active
+// (they all preclude checkpointing and parallel workers).
+func (f *cliFlags) modeSelected() bool {
+	return f.table1 || f.tradeoff || f.compare || f.verify || f.family
+}
+
+// problems returns every reason the flag combination is rejected; a
+// non-empty result exits with status 2 before any exploration starts.
+func (f *cliFlags) problems() []string {
+	var out []string
+	if (f.checkpoint != "" || f.resume) && f.modeSelected() {
+		out = append(out, "-checkpoint/-resume only apply to the default Pareto run")
+	}
+	if f.resume && f.checkpoint == "" {
+		out = append(out, "-resume requires -checkpoint")
+	}
+	if f.checkpointEvery <= 0 {
+		out = append(out, "-checkpoint-every must be > 0")
+	}
+	if f.explicit["checkpoint-every"] && f.checkpoint == "" {
+		out = append(out, "-checkpoint-every requires -checkpoint (there is no snapshot file to write)")
+	}
+	if f.timeout < 0 {
+		out = append(out, "-timeout must be >= 0")
+	}
+	if f.cache != "on" && f.cache != "off" {
+		out = append(out, "-cache must be on or off")
+	}
+	if f.workers < 0 {
+		out = append(out, "-workers must be >= 0 (0 selects GOMAXPROCS)")
+	}
+	if f.workers != 1 && f.modeSelected() {
+		out = append(out, "-workers only applies to the default Pareto run")
+	}
+	if f.batch < 0 {
+		out = append(out, "-batch must be >= 0 (0 selects adaptive sizing)")
+	}
+	if f.batch != 0 && f.workers == 1 {
+		out = append(out, "-batch only applies to parallel exploration (-workers != 1)")
+	}
+	out = append(out, f.prof.Problems()...)
+	return out
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -113,50 +177,21 @@ func run() int {
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
-	if (*ckPath != "" || *resume) && (*table1 || *tradeoff || *compare || *verify || *family) {
-		fmt.Fprintln(os.Stderr, "casestudy: -checkpoint/-resume only apply to the default Pareto run")
-		return 2
+	fl := &cliFlags{
+		table1: *table1, tradeoff: *tradeoff, compare: *compare, verify: *verify,
+		family: *family, timeout: *timeout, checkpoint: *ckPath, checkpointEvery: *ckEvery,
+		resume: *resume, cache: *cache, workers: *workers, batch: *batch,
+		prof:     profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath},
+		explicit: map[string]bool{},
 	}
-	if *resume && *ckPath == "" {
-		fmt.Fprintln(os.Stderr, "casestudy: -resume requires -checkpoint")
-		return 2
-	}
-	if *ckEvery <= 0 {
-		fmt.Fprintln(os.Stderr, "casestudy: -checkpoint-every must be > 0")
-		return 2
-	}
-	if *timeout < 0 {
-		fmt.Fprintln(os.Stderr, "casestudy: -timeout must be >= 0")
-		return 2
-	}
-	if *cache != "on" && *cache != "off" {
-		fmt.Fprintln(os.Stderr, "casestudy: -cache must be on or off")
-		return 2
-	}
-	if *workers < 0 {
-		fmt.Fprintln(os.Stderr, "casestudy: -workers must be >= 0 (0 selects GOMAXPROCS)")
-		return 2
-	}
-	if *workers != 1 && (*table1 || *tradeoff || *compare || *verify || *family) {
-		fmt.Fprintln(os.Stderr, "casestudy: -workers only applies to the default Pareto run")
-		return 2
-	}
-	if *batch < 0 {
-		fmt.Fprintln(os.Stderr, "casestudy: -batch must be >= 0 (0 selects adaptive sizing)")
-		return 2
-	}
-	if *batch != 0 && *workers == 1 {
-		fmt.Fprintln(os.Stderr, "casestudy: -batch only applies to parallel exploration (-workers != 1)")
-		return 2
-	}
-	prof := profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath}
-	if probs := prof.Problems(); len(probs) > 0 {
+	flag.Visit(func(f *flag.Flag) { fl.explicit[f.Name] = true })
+	if probs := fl.problems(); len(probs) > 0 {
 		for _, p := range probs {
 			fmt.Fprintln(os.Stderr, "casestudy:", p)
 		}
 		return 2
 	}
-	stopProf, err := prof.Start()
+	stopProf, err := fl.prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casestudy:", err)
 		return 1

@@ -53,3 +53,84 @@ func TestTimingPolicyFlag(t *testing.T) {
 		}
 	}
 }
+
+// baseFlags returns a valid default flag set; tests mutate one aspect
+// and assert on problems().
+func baseFlags() *cliFlags {
+	return &cliFlags{
+		checkpointEvery: 64, cache: "on", workers: 1,
+		explicit: map[string]bool{},
+	}
+}
+
+func TestFlagValidationAccepts(t *testing.T) {
+	cases := []func(*cliFlags){
+		func(f *cliFlags) {},
+		func(f *cliFlags) { f.table1 = true },
+		func(f *cliFlags) { f.compare = true },
+		func(f *cliFlags) { f.checkpoint = "ck.json" },
+		func(f *cliFlags) { f.checkpoint = "ck.json"; f.resume = true },
+		func(f *cliFlags) {
+			f.checkpoint = "ck.json"
+			f.checkpointEvery = 8
+			f.explicit["checkpoint"] = true
+			f.explicit["checkpoint-every"] = true
+		},
+		func(f *cliFlags) { f.workers = 0 },
+		func(f *cliFlags) { f.workers = 4; f.batch = 32 },
+		func(f *cliFlags) { f.timeout = 1 },
+		func(f *cliFlags) { f.cache = "off" },
+	}
+	for i, mutate := range cases {
+		f := baseFlags()
+		mutate(f)
+		if probs := f.problems(); len(probs) != 0 {
+			t.Errorf("case %d: valid flags rejected: %v", i, probs)
+		}
+	}
+}
+
+func TestFlagValidationRejects(t *testing.T) {
+	cases := []struct {
+		mutate func(*cliFlags)
+		want   string
+	}{
+		{func(f *cliFlags) { f.checkpoint = "ck.json"; f.table1 = true }, "only apply to the default"},
+		{func(f *cliFlags) { f.resume = true; f.verify = true }, "only apply to the default"},
+		{func(f *cliFlags) { f.resume = true }, "-resume requires"},
+		{func(f *cliFlags) { f.checkpointEvery = 0 }, "-checkpoint-every must be > 0"},
+		{func(f *cliFlags) { f.explicit["checkpoint-every"] = true }, "-checkpoint-every requires -checkpoint"},
+		{func(f *cliFlags) { f.timeout = -1 }, "-timeout"},
+		{func(f *cliFlags) { f.cache = "maybe" }, "-cache"},
+		{func(f *cliFlags) { f.workers = -1 }, "-workers must be >= 0"},
+		{func(f *cliFlags) { f.workers = 4; f.family = true }, "-workers only applies"},
+		{func(f *cliFlags) { f.batch = -1; f.workers = 4 }, "-batch must be >= 0"},
+		{func(f *cliFlags) { f.batch = 8 }, "-batch only applies"},
+		{func(f *cliFlags) { f.prof.CPUProfile = "p.out"; f.prof.Trace = "p.out" }, "same file"},
+	}
+	for i, tc := range cases {
+		f := baseFlags()
+		tc.mutate(f)
+		probs := f.problems()
+		found := false
+		for _, p := range probs {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("case %d: want a problem matching %q, got %v", i, tc.want, probs)
+		}
+	}
+}
+
+// Every rejection must surface all problems at once, not just the first.
+func TestFlagValidationReportsAll(t *testing.T) {
+	f := baseFlags()
+	f.resume = true
+	f.timeout = -1
+	f.workers = -2
+	if probs := f.problems(); len(probs) < 3 {
+		t.Errorf("want >= 3 problems, got %v", probs)
+	}
+}

@@ -87,6 +87,9 @@ func (f *cliFlags) problems() []string {
 	if f.checkpointEvery <= 0 {
 		out = append(out, "-checkpoint-every must be > 0")
 	}
+	if f.explicit["checkpoint-every"] && f.checkpoint == "" {
+		out = append(out, "-checkpoint-every requires -checkpoint (there is no snapshot file to write)")
+	}
 	if f.timeout < 0 {
 		out = append(out, "-timeout must be >= 0")
 	}

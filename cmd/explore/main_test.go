@@ -42,6 +42,12 @@ func TestFlagValidationAccepts(t *testing.T) {
 		func(f *cliFlags) { f.algo = "ea"; f.explicit["seed"] = true },
 		func(f *cliFlags) { f.model = "synthetic"; f.explicit["seed"] = true },
 		func(f *cliFlags) { f.checkpoint = "ck.json"; f.checkpointEvery = 4 },
+		func(f *cliFlags) {
+			f.checkpoint = "ck.json"
+			f.checkpointEvery = 4
+			f.explicit["checkpoint"] = true
+			f.explicit["checkpoint-every"] = true
+		},
 		func(f *cliFlags) { f.algo = "exhaustive"; f.checkpoint = "ck.json"; f.resume = true },
 		func(f *cliFlags) { f.timeout = 1 },
 		func(f *cliFlags) { f.cache = "off" },
@@ -74,6 +80,7 @@ func TestFlagValidationRejects(t *testing.T) {
 		{func(f *cliFlags) { f.explicit["seed"] = true }, "-seed only applies"},
 		{func(f *cliFlags) { f.algo = "ea"; f.workers = 4; f.explicit["workers"] = true }, "-workers only applies"},
 		{func(f *cliFlags) { f.checkpointEvery = 0 }, "-checkpoint-every"},
+		{func(f *cliFlags) { f.explicit["checkpoint-every"] = true }, "-checkpoint-every requires -checkpoint"},
 		{func(f *cliFlags) { f.timeout = -1 }, "-timeout"},
 		{func(f *cliFlags) { f.resume = true }, "-resume requires"},
 		{func(f *cliFlags) { f.algo = "random"; f.checkpoint = "ck.json" }, "cost-ordered"},

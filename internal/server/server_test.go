@@ -1,0 +1,505 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+// newTestServer builds a server plus an httptest front-end. The zero
+// Config fields get test-friendly defaults: a TempDir checkpoint
+// directory and the lint preflight enabled.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.CheckpointDir == "" {
+		cfg.CheckpointDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post submits body to path and returns the status plus decoded JSON.
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil && err != io.EOF {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+	return resp.StatusCode, m
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil && err != io.EOF {
+		t.Fatalf("decoding %s response: %v", path, err)
+	}
+	return resp.StatusCode, m
+}
+
+// submit posts a job request and returns its id, failing on non-202.
+func submit(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	status, m := post(t, ts, "/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit %s: status %d (%v)", body, status, m)
+	}
+	id, _ := m["id"].(string)
+	if id == "" {
+		t.Fatalf("submit response has no id: %v", m)
+	}
+	return id
+}
+
+// waitState polls the job until it reaches want or the deadline trips.
+func waitState(t *testing.T, ts *httptest.Server, id string, want ...State) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, m := get(t, ts, "/jobs/"+id)
+		st, _ := m["state"].(string)
+		for _, w := range want {
+			if st == string(w) {
+				return m
+			}
+		}
+		if State(st).Terminal() {
+			t.Fatalf("job %s reached terminal state %q, want one of %v (%v)", id, st, want, m)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want one of %v", id, st, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// fetchResult GETs /jobs/{id}/result until it answers 200 and returns
+// the decoded result document.
+func fetchResult(t *testing.T, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var m map[string]any
+			if err := json.Unmarshal(body, &m); err != nil {
+				t.Fatalf("result not JSON: %v\n%s", err, body)
+			}
+			return m
+		case http.StatusAccepted:
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never completed", id)
+			}
+			time.Sleep(2 * time.Millisecond)
+		default:
+			t.Fatalf("result %s: status %d: %s", id, resp.StatusCode, body)
+		}
+	}
+}
+
+// frontJSON extracts the canonical front encoding from a result
+// document (HTTP) or a *core.Result (baseline) for byte comparison.
+// The per-behaviour binding witnesses are dropped first: the front
+// contract (allocation, cost, flexibility, clusters — the repo-wide
+// frontsEqual notion) is exact across resume splits, but a binding
+// search restarted on a cold cache may pick a different, equally valid
+// witness for the same behaviour.
+func frontJSON(t *testing.T, doc map[string]any) string {
+	t.Helper()
+	entries, _ := doc["front"].([]any)
+	canon := make([]map[string]any, 0, len(entries))
+	for _, e := range entries {
+		em, _ := e.(map[string]any)
+		ce := map[string]any{}
+		for k, v := range em {
+			if k != "behaviours" {
+				ce[k] = v
+			}
+		}
+		canon = append(canon, ce)
+	}
+	b, err := json.Marshal(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func baselineDoc(t *testing.T, r *core.Result) map[string]any {
+	t.Helper()
+	data, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// requireSameFront compares a job's served result against a directly
+// computed baseline: byte-identical front and equal semantic effort
+// counters (telemetry like cache hits may differ across resume splits).
+func requireSameFront(t *testing.T, got map[string]any, want *core.Result) {
+	t.Helper()
+	wd := baselineDoc(t, want)
+	if g, w := frontJSON(t, got), frontJSON(t, wd); g != w {
+		t.Errorf("front differs from baseline:\n got %s\nwant %s", g, w)
+	}
+	if g, w := got["maxFlexibility"], wd["maxFlexibility"]; g != w {
+		t.Errorf("maxFlexibility = %v, want %v", g, w)
+	}
+	if g, w := got["cursor"], wd["cursor"]; g != w {
+		t.Errorf("cursor = %v, want %v", g, w)
+	}
+	gs, _ := got["stats"].(map[string]any)
+	ws, _ := wd["stats"].(map[string]any)
+	for _, k := range []string{"scanned", "possibleAllocations", "attempted", "feasible", "ecsTested"} {
+		if gs[k] != ws[k] {
+			t.Errorf("stats.%s = %v, want %v", k, gs[k], ws[k])
+		}
+	}
+}
+
+func apiErrOf(t *testing.T, m map[string]any) map[string]any {
+	t.Helper()
+	e, _ := m["error"].(map[string]any)
+	if e == nil {
+		t.Fatalf("response is not an error document: %v", m)
+	}
+	return e
+}
+
+// TestSubmitToResult: the happy path — submit a settop job, watch it
+// complete, and require the served result to match a direct
+// core.Explore run exactly.
+func TestSubmitToResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Lint: true})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"model": "settop", "workers": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/jobs/j-1" {
+		t.Errorf("Location = %q, want /jobs/j-1", loc)
+	}
+	got := fetchResult(t, ts, "j-1")
+	requireSameFront(t, got, core.Explore(models.SetTopBox(), core.Options{}))
+	if got["reason"] != "completed" {
+		t.Errorf("reason = %v, want completed", got["reason"])
+	}
+}
+
+// TestLintAdmission: a structurally valid but defective specification
+// (SL001 corpus: an unreachable leaf) is rejected at the door with 422
+// and the full diagnostic report.
+func TestLintAdmission(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "testdata", "lint", "SL001.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corpus file must stay strict-parse clean for this test to
+	// exercise the lint gate rather than the structural one.
+	if _, err := spec.Read(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("SL001 corpus no longer passes strict read: %v", err)
+	}
+
+	s, ts := newTestServer(t, Config{Lint: true})
+	status, m := post(t, ts, "/jobs", fmt.Sprintf(`{"spec": %s}`, raw))
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 (%v)", status, m)
+	}
+	e := apiErrOf(t, m)
+	if e["code"] != CodeLint {
+		t.Errorf("code = %v, want %s", e["code"], CodeLint)
+	}
+	diags, _ := e["diagnostics"].([]any)
+	if len(diags) == 0 {
+		t.Error("422 carries no diagnostics")
+	}
+	if n := s.Snapshot().Counters.RejectedLint; n != 1 {
+		t.Errorf("rejectedLint = %d, want 1", n)
+	}
+
+	// With the preflight disabled the same specification is admitted —
+	// the gate, not the spec reader, was the rejector.
+	_, ts2 := newTestServer(t, Config{})
+	if status, m := post(t, ts2, "/jobs", fmt.Sprintf(`{"spec": %s, "workers": 1}`, raw)); status != http.StatusAccepted {
+		t.Fatalf("lint-off submit: status %d (%v)", status, m)
+	}
+}
+
+// TestAdmissionRejections walks the 4xx admission table.
+func TestAdmissionRejections(t *testing.T) {
+	s, ts := newTestServer(t, Config{Lint: true, MaxDeadline: time.Minute})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   string
+	}{
+		{"not json", `{"model": `, http.StatusBadRequest, CodeMalformed},
+		{"unknown field", `{"model": "settop", "maxScans": 5}`, http.StatusBadRequest, CodeMalformed},
+		{"trailing data", `{"model": "settop"} {"model": "settop"}`, http.StatusBadRequest, CodeMalformed},
+		{"spec and model", `{"model": "settop", "spec": {"name": "x"}}`, http.StatusBadRequest, CodeMalformed},
+		{"neither spec nor model", `{"workers": 2}`, http.StatusBadRequest, CodeMalformed},
+		{"unknown model", `{"model": "warehouse"}`, http.StatusBadRequest, CodeMalformed},
+		{"invalid spec", `{"spec": {"name": "broken"}}`, http.StatusBadRequest, CodeBadSpec},
+		{"negative workers", `{"model": "settop", "workers": -1}`, http.StatusBadRequest, CodeBadBudget},
+		{"negative scan budget", `{"model": "settop", "maxScan": -5}`, http.StatusBadRequest, CodeBadBudget},
+		{"negative deadline", `{"model": "settop", "deadlineMs": -1}`, http.StatusBadRequest, CodeBadBudget},
+		{"deadline above cap", `{"model": "settop", "deadlineMs": 6000000}`, http.StatusBadRequest, CodeBadBudget},
+		{"negative cadence", `{"model": "settop", "checkpointEvery": -2}`, http.StatusBadRequest, CodeBadBudget},
+		{"negative batch", `{"model": "settop", "batch": -1}`, http.StatusBadRequest, CodeBadBudget},
+		{"unknown timing", `{"model": "settop", "timing": "edf"}`, http.StatusBadRequest, CodeBadBudget},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, m := post(t, ts, "/jobs", tc.body)
+			if status != tc.status {
+				t.Fatalf("status %d, want %d (%v)", status, tc.status, m)
+			}
+			if e := apiErrOf(t, m); e["code"] != tc.code {
+				t.Errorf("code = %v, want %s", e["code"], tc.code)
+			}
+		})
+	}
+	st := s.Snapshot()
+	if st.Counters.RejectedInvalid != len(cases) {
+		t.Errorf("rejectedInvalid = %d, want %d", st.Counters.RejectedInvalid, len(cases))
+	}
+	if st.Counters.Admitted != 0 {
+		t.Errorf("admitted = %d, want 0", st.Counters.Admitted)
+	}
+}
+
+// TestLookupErrors: 404s and wrong-state 409s.
+func TestLookupErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if status, m := get(t, ts, "/jobs/j-99"); status != http.StatusNotFound {
+		t.Errorf("get unknown: status %d (%v)", status, m)
+	}
+	if status, _ := get(t, ts, "/jobs/j-99/result"); status != http.StatusNotFound {
+		t.Errorf("result unknown: status %d", status)
+	}
+	id := submit(t, ts, `{"model": "decoder", "workers": 1}`)
+	waitState(t, ts, id, StateCompleted)
+	if status, m := post(t, ts, "/jobs/"+id+"/suspend", ""); status != http.StatusConflict {
+		t.Errorf("suspend completed job: status %d (%v)", status, m)
+	}
+	if status, m := post(t, ts, "/jobs/"+id+"/resume", ""); status != http.StatusConflict {
+		t.Errorf("resume completed job: status %d (%v)", status, m)
+	}
+}
+
+// TestHealthEndpoints: /healthz is unconditional, /readyz tracks
+// drain state.
+func TestHealthEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if status, m := get(t, ts, "/healthz"); status != http.StatusOK || m["status"] != "ok" {
+		t.Errorf("healthz: %d %v", status, m)
+	}
+	if status, m := get(t, ts, "/readyz"); status != http.StatusOK || m["status"] != "ready" {
+		t.Errorf("readyz: %d %v", status, m)
+	}
+	if err := s.Shutdown(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if status, m := get(t, ts, "/readyz"); status != http.StatusServiceUnavailable || m["status"] != "draining" {
+		t.Errorf("readyz while draining: %d %v", status, m)
+	}
+	status, m := post(t, ts, "/jobs", `{"model": "settop"}`)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d (%v)", status, m)
+	}
+	if e := apiErrOf(t, m); e["code"] != CodeDraining {
+		t.Errorf("code = %v, want %s", e["code"], CodeDraining)
+	}
+	if n := s.Snapshot().Counters.RejectedDraining; n != 1 {
+		t.Errorf("rejectedDraining = %d, want 1", n)
+	}
+}
+
+// TestDeadlineCompletesWithPartialFront: a job whose wall-clock budget
+// expires mid-scan completes (never fails) with the exact Pareto front
+// of the prefix it covered.
+func TestDeadlineCompletesWithPartialFront(t *testing.T) {
+	_, ts := newTestServer(t, Config{Lint: true})
+	id := submit(t, ts, `{"model": "settop", "workers": 1, "exhaustive": true, "deadlineMs": 120, "checkpointEvery": 8}`)
+	got := fetchResult(t, ts, id)
+	if got["interrupted"] != true || got["reason"] != "deadline" {
+		t.Skipf("scan finished inside the deadline on this machine (reason=%v)", got["reason"])
+	}
+	cursor := int(got["cursor"].(float64))
+	if cursor <= 0 {
+		t.Fatalf("deadline job made no progress (cursor %d)", cursor)
+	}
+	// The partial front must be the exact front of the prefix
+	// [0, cursor): reproduce it with a direct scan interrupted at the
+	// same possible-candidate index. (MaxScan would not do — it counts
+	// raw scanned subsets, a coarser unit than the candidate cursor.)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base := core.ExploreContext(ctx, models.SetTopBox(), core.Options{
+		DisableFlexBound: true, IncludeUselessComm: true,
+		Fault: faultinject.New().CancelAt(core.SiteEstimate, cursor).Bind(cancel),
+	})
+	if base.Cursor != cursor {
+		t.Fatalf("baseline interrupt missed: cursor %d, want %d", base.Cursor, cursor)
+	}
+	if g, w := frontJSON(t, got), frontJSON(t, baselineDoc(t, base)); g != w {
+		t.Errorf("partial front is not the exact prefix front:\n got %s\nwant %s", g, w)
+	}
+}
+
+// TestCancel: DELETE cancels queued and running jobs; the result
+// endpoint answers 409 for them.
+func TestCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxRunning: 1})
+	running := submit(t, ts, `{"model": "settop", "workers": 1, "exhaustive": true}`)
+	queued := submit(t, ts, `{"model": "settop", "workers": 1}`)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+queued, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: status %d", resp.StatusCode)
+	}
+	waitState(t, ts, queued, StateCancelled)
+
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+running, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel running: status %d", resp.StatusCode)
+	}
+	waitState(t, ts, running, StateCancelled)
+
+	status, m := get(t, ts, "/jobs/"+running+"/result")
+	if status != http.StatusConflict {
+		t.Errorf("result of cancelled job: status %d (%v)", status, m)
+	}
+}
+
+// TestStatsDocument: the /stats gauges and per-job views.
+func TestStatsDocument(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 8, MaxRunning: 2, HighWater: 6})
+	id := submit(t, ts, `{"model": "settop", "workers": 1}`)
+	waitState(t, ts, id, StateCompleted)
+	status, m := get(t, ts, "/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d", status)
+	}
+	if m["queueCap"] != float64(8) || m["highWater"] != float64(6) || m["lowWater"] != float64(3) {
+		t.Errorf("gauges wrong: %v", m)
+	}
+	counters, _ := m["counters"].(map[string]any)
+	if counters["admitted"] != float64(1) || counters["completed"] != float64(1) {
+		t.Errorf("counters wrong: %v", counters)
+	}
+	jobs, _ := m["jobs"].([]any)
+	if len(jobs) != 1 {
+		t.Fatalf("jobs len %d, want 1", len(jobs))
+	}
+	jv, _ := jobs[0].(map[string]any)
+	if jv["id"] != id || jv["state"] != "completed" || jv["spec"] != "settop" {
+		t.Errorf("job view wrong: %v", jv)
+	}
+}
+
+// TestEventsStream: the SSE stream opens with the current state and
+// ends with the terminal event.
+func TestEventsStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := submit(t, ts, `{"model": "settop", "workers": 1, "checkpointEvery": 64}`)
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body) // server closes the stream at the terminal event
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := strings.Split(strings.TrimSpace(string(body)), "\n\n")
+	if len(frames) == 0 {
+		t.Fatal("no SSE frames")
+	}
+	var last ProgressEvent
+	for _, f := range frames {
+		for _, line := range strings.Split(f, "\n") {
+			if data, ok := strings.CutPrefix(line, "data: "); ok {
+				if err := json.Unmarshal([]byte(data), &last); err != nil {
+					t.Fatalf("bad SSE data %q: %v", data, err)
+				}
+			}
+		}
+	}
+	if last.State != StateCompleted || last.JobID != id {
+		t.Errorf("terminal event = %+v", last)
+	}
+	base := core.Explore(models.SetTopBox(), core.Options{})
+	if last.Cursor != base.Cursor || last.FrontSize != len(base.Front) {
+		t.Errorf("terminal event cursor/front = %d/%d, want %d/%d",
+			last.Cursor, last.FrontSize, base.Cursor, len(base.Front))
+	}
+}
+
+// TestConfigValidation: New rejects nonsensical configurations.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("want error for missing CheckpointDir")
+	}
+	if _, err := New(Config{CheckpointDir: t.TempDir(), QueueDepth: 4, HighWater: 9}); err == nil {
+		t.Error("want error for HighWater above QueueDepth")
+	}
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// handleEvents is GET /jobs/{id}/events: a Server-Sent Events stream of
+// the job's progress. The stream opens with the job's current state,
+// carries progress events at the job's checkpointEvery cadence while it
+// runs, and closes after the terminal event. Slow consumers lose
+// intermediate events (the fan-out never blocks the exploration), never
+// the terminal one.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		(&apiError{Status: http.StatusInternalServerError, Code: "no-flush",
+			Message: "response writer does not support streaming"}).writeTo(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	s.mu.Lock()
+	first := j.eventLocked()
+	terminal := j.state.Terminal()
+	var subID int
+	var ch chan ProgressEvent
+	if !terminal {
+		subID, ch = j.subscribeLocked()
+	}
+	s.mu.Unlock()
+
+	writeEvent(w, "progress", first)
+	fl.Flush()
+	if terminal {
+		return
+	}
+	defer func() {
+		s.mu.Lock()
+		delete(j.subs, subID)
+		s.mu.Unlock()
+	}()
+
+	for {
+		select {
+		case ev := <-ch:
+			writeEvent(w, "progress", ev)
+			fl.Flush()
+			if ev.State.Terminal() {
+				return
+			}
+		case <-j.done:
+			// Drain anything already queued, then emit the terminal
+			// state read directly from the job.
+			for {
+				select {
+				case ev := <-ch:
+					writeEvent(w, "progress", ev)
+				default:
+					s.mu.Lock()
+					last := j.eventLocked()
+					s.mu.Unlock()
+					writeEvent(w, "progress", last)
+					fl.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEvent emits one SSE frame.
+func writeEvent(w http.ResponseWriter, name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+}

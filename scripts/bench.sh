@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Benchmark the EXPLORE hot path — allocation enumeration (E2 and the
-# bitset-native BenchmarkEnumerateSynthetic), spec assembly (E5), and
-# the cached-vs-uncached / pipelined-worker candidate evaluation
-# (BenchmarkExploreSynthetic and the other Explore benchmarks) — and
-# aggregate the numbers (ns/op, B/op, allocs/op, cache hit rates,
-# binding-run counts, pipeline gauges) into BENCH_explore.json.
+# bitset-native BenchmarkEnumerateSynthetic), spec assembly (E5), the
+# cached-vs-uncached / pipelined-worker candidate evaluation
+# (BenchmarkExploreSynthetic and the other Explore benchmarks), and the
+# server_overhead measurement (BenchmarkServerOverhead: a loopback HTTP
+# job lifecycle vs the direct core.Explore call on the same synthetic
+# spec) — and aggregate the numbers (ns/op, B/op, allocs/op, cache hit
+# rates, binding-run counts, pipeline gauges) into BENCH_explore.json.
 #
 # Usage: scripts/bench.sh [count]    # default 5 repetitions
 set -euo pipefail
@@ -14,7 +16,7 @@ count="${1:-5}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'E2|E5|Explore|Enumerate' -benchmem -count "$count" . | tee "$raw"
+go test -run '^$' -bench 'E2|E5|Explore|Enumerate|ServerOverhead' -benchmem -count "$count" . | tee "$raw"
 
 awk -v count="$count" '
 /^Benchmark/ {

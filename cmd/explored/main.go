@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -113,6 +114,12 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "explored:", p)
 		}
 		return 2
+	}
+
+	// server.Config maps DefaultWorkers <= 0 to 1 (sequential); resolve
+	// the documented "-workers 0 = GOMAXPROCS per job" here.
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 
 	logger := log.New(os.Stderr, "explored: ", log.LstdFlags)

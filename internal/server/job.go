@@ -160,6 +160,11 @@ func (j *job) viewLocked() JobView {
 		v.FrontSize = len(j.result.Front)
 		v.MaxFlexibility = j.result.MaxFlexibility
 		v.Reason = string(j.result.Reason)
+		// The last progress event lags by up to the checkpoint cadence;
+		// the final front is authoritative.
+		if bf := bestFlexOf(j.result.Front); bf > v.BestFlex {
+			v.BestFlex = bf
+		}
 	}
 	return v
 }
@@ -176,8 +181,22 @@ func (j *job) eventLocked() ProgressEvent {
 		ev.FrontSize = len(j.result.Front)
 		ev.MaxFlexibility = j.result.MaxFlexibility
 		ev.Reason = string(j.result.Reason)
+		if bf := bestFlexOf(j.result.Front); bf > ev.BestFlex {
+			ev.BestFlex = bf
+		}
 	}
 	return ev
+}
+
+// bestFlexOf returns the best flexibility on a Pareto front.
+func bestFlexOf(front []*core.Implementation) float64 {
+	var best float64
+	for _, im := range front {
+		if im.Flexibility > best {
+			best = im.Flexibility
+		}
+	}
+	return best
 }
 
 // publishLocked records the event as the job's latest and fans it out

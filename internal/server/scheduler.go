@@ -304,16 +304,16 @@ func (s *Server) park(j *job, res *core.Result, kind suspendKind) {
 	// the exact suspension cursor in views and streams.
 	j.latest.Cursor = res.Cursor
 	j.latest.FrontSize = len(res.Front)
-	for _, im := range res.Front {
-		if im.Flexibility > j.latest.BestFlex {
-			j.latest.BestFlex = im.Flexibility
-		}
+	if bf := bestFlexOf(res.Front); bf > j.latest.BestFlex {
+		j.latest.BestFlex = bf
 	}
 	s.counters.Suspends++
 	if j.pending == pendingCancel {
-		// A DELETE raced the park; honour it.
+		// A DELETE raced the park; honour it without dropping the lock,
+		// so the racing handler cannot finalize the job concurrently.
+		s.finalizeLocked(j, StateCancelled, res, "", false)
 		s.mu.Unlock()
-		s.finalize(j, StateCancelled, res, "", false)
+		s.cfg.logf("%s %s", j.id, StateCancelled)
 		return
 	}
 	s.parked = append(s.parked, j)
@@ -327,7 +327,24 @@ func (s *Server) park(j *job, res *core.Result, kind suspendKind) {
 // finalize commits a terminal state and wakes waiters and subscribers.
 func (s *Server) finalize(j *job, st State, res *core.Result, errMsg string, panicked bool) {
 	s.mu.Lock()
+	committed := s.finalizeLocked(j, st, res, errMsg, panicked)
+	s.mu.Unlock()
+	if committed {
+		s.cfg.logf("%s %s", j.id, st)
+	}
+}
+
+// finalizeLocked commits a terminal state; caller holds mu. It is
+// idempotent — a job that is already terminal is left untouched (and
+// false is returned), so a DELETE racing a park, or two concurrent
+// DELETEs, can never double-close done or double-count a terminal
+// transition.
+func (s *Server) finalizeLocked(j *job, st State, res *core.Result, errMsg string, panicked bool) bool {
+	if j.state.Terminal() {
+		return false
+	}
 	j.state = st
+	j.pending = pendingNone
 	j.result = res
 	j.errMsg = errMsg
 	switch st {
@@ -345,8 +362,7 @@ func (s *Server) finalize(j *job, st State, res *core.Result, errMsg string, pan
 	j.publishLocked(j.eventLocked())
 	s.scheduleLocked()
 	s.notifyLocked()
-	s.mu.Unlock()
-	s.cfg.logf("%s %s", j.id, st)
+	return true
 }
 
 // handleCancel is DELETE /jobs/{id}.
@@ -373,14 +389,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	default:
 		// Queued or suspended: remove from the waiting lists and
-		// finalize immediately.
+		// finalize immediately — one critical section, so a concurrent
+		// DELETE or a racing park cannot finalize the job twice.
 		s.queue = removeJob(s.queue, j)
 		s.parked = removeJob(s.parked, j)
-		s.mu.Unlock()
-		s.finalize(j, StateCancelled, nil, "", false)
-		s.mu.Lock()
+		s.finalizeLocked(j, StateCancelled, nil, "", false)
 		view := j.viewLocked()
 		s.mu.Unlock()
+		s.cfg.logf("%s %s", j.id, StateCancelled)
 		writeJSON(w, http.StatusOK, view)
 		return
 	}
@@ -394,7 +410,11 @@ func (s *Server) handleSuspend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	if j.state != StateRunning || j.pending != pendingNone {
+	// The s.running membership check closes the window after runJob has
+	// committed the segment (job removed from running, state not yet
+	// updated by finalize/park): a suspend accepted there would never be
+	// honoured.
+	if j.state != StateRunning || j.pending != pendingNone || s.running[j.id] != j {
 		state := j.state
 		s.mu.Unlock()
 		(&apiError{Status: http.StatusConflict, Code: CodeWrongState,
@@ -415,6 +435,14 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		// scheduleLocked no-ops during a drain, so accepting the resume
+		// would silently never honour it.
+		(&apiError{Status: http.StatusServiceUnavailable, Code: CodeDraining,
+			Message: "server is draining; resume the job from its checkpoint after restart", RetryAfter: 5}).writeTo(w)
+		return
+	}
 	if j.state != StateSuspended {
 		state := j.state
 		s.mu.Unlock()
@@ -545,11 +573,7 @@ func (s *Server) drainSnapshot(j *job) (*checkpoint.Snapshot, error) {
 		p.Cursor = r.Cursor
 		p.Front = r.Front
 		p.Stats = r.Stats
-		for _, im := range r.Front {
-			if im.Flexibility > p.BestFlex {
-				p.BestFlex = im.Flexibility
-			}
-		}
+		p.BestFlex = bestFlexOf(r.Front)
 	}
 	return checkpoint.Capture(j.spec, j.opts, p)
 }

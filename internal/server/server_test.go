@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -424,6 +425,75 @@ func TestCancel(t *testing.T) {
 	status, m := get(t, ts, "/jobs/"+running+"/result")
 	if status != http.StatusConflict {
 		t.Errorf("result of cancelled job: status %d (%v)", status, m)
+	}
+}
+
+// TestConcurrentCancelFinalizesOnce: racing DELETEs of the same queued
+// job must finalize it exactly once — a double finalize used to close
+// j.done twice, panicking with the server mutex held and deadlocking
+// every later request.
+func TestConcurrentCancelFinalizesOnce(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxRunning: 1})
+	running := submit(t, ts, `{"model": "settop", "workers": 1, "exhaustive": true}`)
+	queued := submit(t, ts, `{"model": "settop", "workers": 1}`)
+
+	const racers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+queued, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("concurrent cancel: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent cancel: status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	waitState(t, ts, queued, StateCancelled)
+	if c := s.Snapshot().Counters; c.Cancelled != 1 {
+		t.Errorf("cancelled counter = %d, want 1", c.Cancelled)
+	}
+	// The server must still be serving: the blocked running job finishes.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+running, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitState(t, ts, running, StateCancelled)
+}
+
+// TestResumeWhileDraining: a drain parks jobs for an out-of-process
+// restart; accepting a resume then would silently never honour it, so
+// the API refuses with 503 draining.
+func TestResumeWhileDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxRunning: 1})
+	id := submit(t, ts, `{"model": "settop", "workers": 1, "exhaustive": true}`)
+	waitState(t, ts, id, StateRunning)
+	if status, m := post(t, ts, "/jobs/"+id+"/suspend", ""); status != http.StatusAccepted {
+		t.Fatalf("suspend: status %d (%v)", status, m)
+	}
+	waitState(t, ts, id, StateSuspended)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	status, m := post(t, ts, "/jobs/"+id+"/resume", "")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("resume while draining: status %d (%v), want 503", status, m)
+	}
+	if errObj, _ := m["error"].(map[string]any); errObj["code"] != CodeDraining {
+		t.Errorf("resume while draining: code %v, want %q", m, CodeDraining)
 	}
 }
 

@@ -458,6 +458,26 @@ func BenchmarkExploreSynthetic(b *testing.B) {
 	// high-water gauges record how hard the commit stage had to reorder.
 	// "workers=N", not "workers-N": bench.sh strips a trailing -N as the
 	// GOMAXPROCS suffix, which would swallow a hyphenated worker count.
+	// Producer variants: the same run with each possible-allocation
+	// enumerator pinned. The emitted candidate stream — and therefore
+	// the front and every semantic counter — is bit-identical; the
+	// variants isolate the producer's own cost (bitset heap scan vs
+	// cost-ordered BDD walk) inside a full EXPLORE run.
+	for _, en := range []core.Enumerator{core.EnumeratorBitset, core.EnumeratorSymbolic} {
+		b.Run("enumerator="+string(en), func(b *testing.B) {
+			s := models.Synthetic(p)
+			var st core.Stats
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st = core.Explore(s, core.Options{
+					DisableFlexBound: true, Enumerator: en,
+				}).Stats
+			}
+			b.ReportMetric(float64(st.Scanned), "scanned")
+			b.ReportMetric(float64(st.BindingRuns), "binding_runs")
+		})
+	}
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			s := models.Synthetic(p)
@@ -504,6 +524,48 @@ func BenchmarkEnumerateSynthetic(b *testing.B) {
 	}
 	b.ReportMetric(float64(scanned), "scanned")
 	b.ReportMetric(float64(possible), "possible_allocs")
+}
+
+// BenchmarkEnumerateSymbolic — the escape from the 2^n allocation
+// scan. The enumeration variant emits a 4096-candidate cost-ordered
+// prefix over a 30-unit synthetic architecture, where the bitset heap
+// scan would have to pop up to 2^30 subsets to reach the same stream
+// position; the custom metrics record the BDD search nodes visited
+// (the symbolic analogue of "scanned", measured ~675k — three orders
+// of magnitude under 2^30) and the candidates emitted. The count
+// variants exercise the pure-symbolic path on 50- and 100-unit
+// architectures, where cost-ordered *enumeration* effort is dominated
+// by the cheap-bus cost plateau (docs/symbolic.md) but counting the
+// whole possible-allocation set stays polynomial in the BDD size.
+func BenchmarkEnumerateSymbolic(b *testing.B) {
+	b.Run("units=30", func(b *testing.B) {
+		s := models.Synthetic(models.ScaledSynthetic(1, 30))
+		var st alloc.Stats
+		emitted := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			emitted = 0
+			st = alloc.EnumerateSymbolic(s, alloc.Options{}, func(alloc.Candidate) bool {
+				emitted++
+				return emitted < 4096
+			})
+		}
+		b.ReportMetric(float64(st.Scanned), "visited")
+		b.ReportMetric(float64(emitted), "emitted")
+	})
+	for _, units := range []int{50, 100} {
+		b.Run(fmt.Sprintf("count/units=%d", units), func(b *testing.B) {
+			s := models.Synthetic(models.ScaledSynthetic(1, units))
+			var digits int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				digits = len(alloc.CountPossibleBig(s).String())
+			}
+			b.ReportMetric(float64(digits), "count_digits")
+		})
+	}
 }
 
 // BenchmarkE16_TriObjective — §4's "many different design objectives":

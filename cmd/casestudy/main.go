@@ -101,6 +101,7 @@ type cliFlags struct {
 	cache           string
 	workers         int
 	batch           int
+	enumerator      string
 	prof            profiling.Flags
 	explicit        map[string]bool
 }
@@ -145,6 +146,12 @@ func (f *cliFlags) problems() []string {
 	if f.batch != 0 && f.workers == 1 {
 		out = append(out, "-batch only applies to parallel exploration (-workers != 1)")
 	}
+	if !core.ValidEnumerator(f.enumerator) {
+		out = append(out, "-enumerator must be auto, bitset or symbolic")
+	}
+	if f.explicit["enumerator"] && f.modeSelected() {
+		out = append(out, "-enumerator only applies to the default Pareto run")
+	}
 	out = append(out, f.prof.Problems()...)
 	return out
 }
@@ -172,6 +179,7 @@ func run() int {
 	cache := flag.String("cache", "on", "cross-candidate evaluation caches: on | off (off is the uncached differential/ablation baseline)")
 	workers := flag.Int("workers", 1, "parallel exploration workers for the default run (0 = GOMAXPROCS); the front is identical to sequential")
 	batch := flag.Int("batch", 0, "candidates per parallel range job (0 = adaptive); the front is identical for every batch size")
+	enumerator := flag.String("enumerator", "auto", "possible-allocation producer: auto | bitset | symbolic; the front is identical either way (see docs/symbolic.md)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	tracePath := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -180,7 +188,7 @@ func run() int {
 	fl := &cliFlags{
 		table1: *table1, tradeoff: *tradeoff, compare: *compare, verify: *verify,
 		family: *family, timeout: *timeout, checkpoint: *ckPath, checkpointEvery: *ckEvery,
-		resume: *resume, cache: *cache, workers: *workers, batch: *batch,
+		resume: *resume, cache: *cache, workers: *workers, batch: *batch, enumerator: *enumerator,
 		prof:     profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath},
 		explicit: map[string]bool{},
 	}
@@ -217,7 +225,7 @@ func run() int {
 			return 1
 		}
 	}
-	opts := core.Options{Timing: timingPolicy(*timing), Weighted: *weighted, DisableCache: *cache == "off", Batch: *batch}
+	opts := core.Options{Timing: timingPolicy(*timing), Weighted: *weighted, DisableCache: *cache == "off", Batch: *batch, Enumerator: core.Enumerator(*enumerator)}
 
 	switch {
 	case *table1:

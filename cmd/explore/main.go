@@ -49,6 +49,7 @@ type cliFlags struct {
 	upgradeFrom     string
 	workers         int
 	batch           int
+	enumerator      string
 	iters           int
 	checkpointEvery int
 	timeout         time.Duration
@@ -71,6 +72,12 @@ func (f *cliFlags) problems() []string {
 	}
 	if f.explicit["batch"] && f.workers == 1 {
 		out = append(out, "-batch only applies to parallel exploration (-workers != 1)")
+	}
+	if !core.ValidEnumerator(f.enumerator) {
+		out = append(out, "-enumerator must be auto, bitset or symbolic")
+	}
+	if f.explicit["enumerator"] && f.algo != "explore" && f.algo != "exhaustive" {
+		out = append(out, "-enumerator requires a cost-ordered scan (-algo explore or exhaustive)")
 	}
 	if f.iters <= 0 {
 		out = append(out, "-iters must be > 0")
@@ -134,6 +141,7 @@ func run() int {
 	upgradeFrom := flag.String("upgrade-from", "", "comma-separated deployed units; explore cost-ordered upgrades (supersets only)")
 	workers := flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS); front is identical to sequential")
 	batch := flag.Int("batch", 0, "candidates per parallel range job (0 = adaptive); the front is identical for every batch size")
+	enumerator := flag.String("enumerator", "auto", "possible-allocation producer: auto | bitset | symbolic; the front is identical either way (see docs/symbolic.md)")
 	lintMode := flag.String("lint", "on", "preflight static analysis: on | off (see docs/lint-codes.md)")
 	timeout := flag.Duration("timeout", 0, "stop the scan after this duration and print the best-so-far front (0 = no limit)")
 	ckPath := flag.String("checkpoint", "", "periodically write an atomic resume snapshot to this file")
@@ -147,7 +155,7 @@ func run() int {
 
 	fl := &cliFlags{
 		algo: *algo, model: *model, objectives: *objectives, upgradeFrom: *upgradeFrom,
-		workers: *workers, batch: *batch, iters: *iters, checkpointEvery: *ckEvery,
+		workers: *workers, batch: *batch, enumerator: *enumerator, iters: *iters, checkpointEvery: *ckEvery,
 		timeout: *timeout, checkpoint: *ckPath, resume: *resume, cache: *cache,
 		prof:     profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath},
 		explicit: map[string]bool{},
@@ -183,7 +191,7 @@ func run() int {
 		}
 	}
 
-	opts := core.Options{Weighted: *weighted, StopAtMaxFlex: *stopMax, DisableCache: *cache == "off", Batch: *batch}
+	opts := core.Options{Weighted: *weighted, StopAtMaxFlex: *stopMax, DisableCache: *cache == "off", Batch: *batch, Enumerator: core.Enumerator(*enumerator)}
 	switch *timing {
 	case "paper":
 		opts.Timing = bind.TimingPaper

@@ -42,6 +42,7 @@ type cliFlags struct {
 	maxRunning    int
 	highWater     int
 	maxDeadline   time.Duration
+	jobTTL        time.Duration
 	workers       int
 	lintMode      string
 	drainTimeout  time.Duration
@@ -73,6 +74,9 @@ func (f *cliFlags) problems() []string {
 	if f.maxDeadline < 0 {
 		out = append(out, "-max-deadline must be >= 0 (0 = no default and no cap)")
 	}
+	if f.jobTTL < 0 {
+		out = append(out, "-job-ttl must be >= 0 (0 keeps terminal jobs forever)")
+	}
 	if f.workers < 0 {
 		out = append(out, "-workers must be >= 0 (0 selects GOMAXPROCS per job)")
 	}
@@ -97,6 +101,7 @@ func run() int {
 	maxRunning := flag.Int("max-running", 2, "concurrently running jobs")
 	highWater := flag.Int("high-water", 0, "queue length that triggers load shedding (0 = 3/4 of -queue-depth)")
 	maxDeadline := flag.Duration("max-deadline", 0, "default and cap for per-job wall-clock budgets (0 = none)")
+	jobTTL := flag.Duration("job-ttl", 0, "evict terminal jobs from memory after this long (0 = keep forever); checkpoint files stay on disk")
 	workers := flag.Int("workers", 1, "default per-job worker budget (0 = GOMAXPROCS, 1 = sequential)")
 	lintMode := flag.String("lint", "on", "admission lint preflight: on | off (defective specs are rejected with 422)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on the SIGTERM graceful drain")
@@ -105,7 +110,7 @@ func run() int {
 	fl := &cliFlags{
 		addr: *addr, checkpointDir: *ckDir, queueDepth: *queueDepth,
 		maxRunning: *maxRunning, highWater: *highWater, maxDeadline: *maxDeadline,
-		workers: *workers, lintMode: *lintMode, drainTimeout: *drainTimeout,
+		jobTTL: *jobTTL, workers: *workers, lintMode: *lintMode, drainTimeout: *drainTimeout,
 		explicit: map[string]bool{},
 	}
 	flag.Visit(func(f *flag.Flag) { fl.explicit[f.Name] = true })
@@ -129,6 +134,7 @@ func run() int {
 		MaxRunning:     *maxRunning,
 		HighWater:      *highWater,
 		MaxDeadline:    *maxDeadline,
+		JobTTL:         *jobTTL,
 		DefaultWorkers: *workers,
 		Lint:           *lintMode != "off",
 		Logf:           logger.Printf,

@@ -25,6 +25,8 @@ func TestFlagValidationAccepts(t *testing.T) {
 		func(f *cliFlags) { f.highWater = 12; f.explicit["high-water"] = true },
 		func(f *cliFlags) { f.highWater = 16; f.explicit["high-water"] = true },
 		func(f *cliFlags) { f.maxDeadline = time.Minute },
+		func(f *cliFlags) { f.jobTTL = time.Hour },
+		func(f *cliFlags) { f.jobTTL = 0 },
 		func(f *cliFlags) { f.workers = 0 },
 		func(f *cliFlags) { f.workers = 8 },
 		func(f *cliFlags) { f.lintMode = "off" },
@@ -52,6 +54,7 @@ func TestFlagValidationRejects(t *testing.T) {
 		{func(f *cliFlags) { f.highWater = -1 }, "-high-water must be >= 0"},
 		{func(f *cliFlags) { f.highWater = 17; f.explicit["high-water"] = true }, "must not exceed -queue-depth"},
 		{func(f *cliFlags) { f.maxDeadline = -time.Second }, "-max-deadline"},
+		{func(f *cliFlags) { f.jobTTL = -time.Minute }, "-job-ttl"},
 		{func(f *cliFlags) { f.workers = -1 }, "-workers"},
 		{func(f *cliFlags) { f.lintMode = "maybe" }, "-lint"},
 		{func(f *cliFlags) { f.drainTimeout = 0 }, "-drain-timeout"},

@@ -152,13 +152,18 @@ type Options struct {
 	// Fig. 2 example lists such supersets (μP C1, ...); the case study
 	// leaves them out as obviously non-Pareto-optimal.
 	IncludeUselessComm bool
-	// MaxScan bounds the number of subsets scanned (0 = unbounded).
+	// MaxScan bounds the enumeration effort: subsets scanned for the
+	// bitset scan, BDD search nodes visited for the symbolic producer
+	// (0 = unbounded). The unit is enumerator-specific — a budget, not
+	// a stream position.
 	MaxScan int
 }
 
 // Stats reports enumeration effort.
 type Stats struct {
-	// Scanned counts subsets generated in cost order.
+	// Scanned counts enumeration effort in the producer's own unit:
+	// subsets generated in cost order (bitset scan) or BDD search nodes
+	// visited (symbolic producer).
 	Scanned int
 	// Possible counts subsets that passed the possibility test and were
 	// yielded to the callback.

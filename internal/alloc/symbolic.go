@@ -1,6 +1,8 @@
 package alloc
 
 import (
+	"math/big"
+
 	"repro/internal/boolfunc"
 	"repro/internal/hgraph"
 	"repro/internal/spec"
@@ -57,12 +59,14 @@ func Symbolic(s *spec.Spec) (*boolfunc.Manager, *boolfunc.Node, []Unit) {
 	return m, supportable(s.Problem.Root), units
 }
 
-// CountPossible returns the exact number of possible resource
-// allocations (unit subsets) by symbolic model counting — no subset is
-// ever enumerated.
+// CountPossible returns the number of possible resource allocations
+// (unit subsets) by symbolic model counting — no subset is ever
+// enumerated. The count is computed exactly (SatCountBig) and then
+// rounded into a float64, which is lossless below 2^53; callers that
+// may exceed 53 units should use CountPossibleBig directly.
 func CountPossible(s *spec.Spec) float64 {
-	m, f, _ := Symbolic(s)
-	return m.SatCount(f)
+	f, _ := new(big.Float).SetInt(CountPossibleBig(s)).Float64()
+	return f
 }
 
 // CheapestPossible returns the minimum-cost possible resource

@@ -275,7 +275,10 @@ func (m *Manager) Eval(n *Node, assignment []bool) bool {
 }
 
 // SatCount returns the number of satisfying assignments over the full
-// variable universe, as float64 (exact for counts below 2^53).
+// variable universe, as float64. A float64 holds every integer below
+// 2^53 exactly but rounds larger counts to the nearest representable
+// value; use SatCountBig when the count may reach that limit (for this
+// package's allocation universes, from 53 variables on).
 func (m *Manager) SatCount(n *Node) float64 {
 	memo := map[int]float64{}
 	var count func(n *Node) float64

@@ -1,0 +1,255 @@
+package boolfunc
+
+import (
+	"container/heap"
+	"fmt"
+	"math/big"
+)
+
+// CostEnum enumerates the satisfying assignments of a boolean function
+// in nondecreasing total cost of the true variables (weighted model
+// enumeration). It is the symbolic counterpart of a cost-ordered subset
+// scan: the search walks the same extend/replace subset tree a heap
+// scan over all 2^n subsets would walk — node [i₁<…<i_k] has an extend
+// child [i₁..i_k, i_k+1] and a replace child [i₁..i_{k-1}, i_k+1], so
+// every subset is generated exactly once — but prunes every subtree the
+// BDD proves free of satisfying assignments, so only O(trie of the
+// satisfying set) nodes are visited instead of all 2^n.
+//
+// Determinism and tie order. The heap orders by (cost, descending
+// lexicographic index sequence) — the exact comparator of the bitset
+// scan in internal/alloc (subsetHeap.Less) — and pruning removes only
+// whole subtrees that contain no satisfying assignment. Removing a
+// subtree never changes when the surviving nodes become available
+// (their parents all survive), so the sequence of satisfying
+// assignments is bit-identical to the subsequence of satisfying subsets
+// in the unpruned scan: the two producers are interchangeable
+// mid-stream, cursor for cursor.
+//
+// Costs must be non-negative and nondecreasing in variable order (the
+// natural variable order for a cost-ordered enumeration — both child
+// moves then never decrease the cost, which is what makes the heap pop
+// order nondecreasing). Callers with unsorted costs should assign
+// variables in cost order, as alloc.Symbolic does.
+//
+// The enumeration is resumable by deterministic replay: Emitted() is a
+// stable cursor into the stream, and a fresh CostEnum over the same
+// function skips back to it by discarding that many Next results (the
+// replay revisits only satisfying-path nodes, not 2^n subsets).
+type CostEnum struct {
+	// MaxVisits bounds the search effort: Next reports ok=false once
+	// Visited() reaches it (0 = unbounded). This is the symbolic
+	// analogue of a scan bound — the unit is BDD search nodes visited,
+	// not subsets scanned.
+	MaxVisits int
+
+	m        *Manager
+	f        *Node
+	costs    []float64
+	h        enumHeap
+	started  bool
+	visited  int
+	emitted  int
+	oneMemo  map[int]bool
+	zeroMemo map[int]bool
+	buf      []int
+}
+
+// enumNode is one live subset-tree node: the unit indices (ascending),
+// their total cost, and the function restricted by the node's bits on
+// every variable below the last index (the last variable itself is
+// resolved lazily, because the replace child needs its false branch).
+type enumNode struct {
+	cost float64
+	idx  []int
+	pre  *Node
+}
+
+// enumHeap orders by total cost with the equal-cost tie broken by
+// descending lexicographic index sequence — a copy of
+// alloc.subsetHeap.Less, which the package comment on CostEnum relies
+// on for stream identity. The comparator is a strict total order on
+// distinct subsets, so the pop sequence is independent of push order
+// and heap layout.
+type enumHeap []*enumNode
+
+func (h enumHeap) Len() int { return len(h) }
+func (h enumHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	a, b := h[i].idx, h[j].idx
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] > b[k]
+		}
+	}
+	return len(a) > len(b)
+}
+func (h enumHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *enumHeap) Push(x any)   { *h = append(*h, x.(*enumNode)) }
+func (h *enumHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// NewCostEnum prepares a cost-ordered enumeration of the satisfying
+// assignments of f. costs must have one non-negative entry per manager
+// variable, nondecreasing in variable order (see the type comment).
+func (m *Manager) NewCostEnum(f *Node, costs []float64) *CostEnum {
+	if len(costs) != m.numVars {
+		panic("boolfunc: cost vector length mismatch")
+	}
+	for i, c := range costs {
+		if c < 0 {
+			panic(fmt.Sprintf("boolfunc: negative cost %v for variable %d", c, i))
+		}
+		if i > 0 && c < costs[i-1] {
+			panic(fmt.Sprintf("boolfunc: costs must be nondecreasing in variable order (cost[%d]=%v < cost[%d]=%v)", i, c, i-1, costs[i-1]))
+		}
+	}
+	return &CostEnum{
+		m:        m,
+		f:        f,
+		costs:    costs,
+		oneMemo:  map[int]bool{},
+		zeroMemo: map[int]bool{},
+	}
+}
+
+// Next returns the true-variable indices (ascending) and cost of the
+// next satisfying assignment, in nondecreasing cost. ok=false means the
+// enumeration is exhausted or the MaxVisits budget ran out. The
+// returned slice is reused by the following Next call; callers that
+// retain it must copy.
+func (e *CostEnum) Next() (trueVars []int, cost float64, ok bool) {
+	if !e.started {
+		e.started = true
+		// Mirror of the subset scan: the all-false assignment is
+		// visited first, outside the heap.
+		e.visited++
+		if e.m.numVars > 0 && e.subtreeSat(e.f, 0) {
+			heap.Push(&e.h, &enumNode{cost: e.costs[0], idx: []int{0}, pre: e.f})
+		}
+		if e.zeroSat(e.f) {
+			e.emitted++
+			return e.buf[:0], 0, true
+		}
+	}
+	for len(e.h) > 0 {
+		if e.MaxVisits > 0 && e.visited >= e.MaxVisits {
+			return nil, 0, false
+		}
+		cur := heap.Pop(&e.h).(*enumNode)
+		e.visited++
+		last := cur.idx[len(cur.idx)-1]
+		n0, n1 := e.m.cofactors(cur.pre, last)
+		if last+1 < e.m.numVars {
+			// The children's subtrees share the child's bits below its
+			// last index and contain exactly the subsets whose first
+			// further element is >= that index, so each is pushed iff a
+			// satisfying assignment with at least one true variable
+			// from last+1 on extends the restriction.
+			if e.subtreeSat(n1, last+1) {
+				c := &enumNode{cost: cur.cost + e.costs[last+1], pre: n1}
+				c.idx = append(append(c.idx, cur.idx...), last+1)
+				heap.Push(&e.h, c)
+			}
+			if e.subtreeSat(n0, last+1) {
+				c := &enumNode{cost: cur.cost - e.costs[last] + e.costs[last+1], pre: n0}
+				c.idx = append(c.idx, cur.idx...)
+				c.idx[len(c.idx)-1] = last + 1
+				heap.Push(&e.h, c)
+			}
+		}
+		if e.zeroSat(n1) {
+			e.emitted++
+			e.buf = append(e.buf[:0], cur.idx...)
+			return e.buf, cur.cost, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Visited counts search nodes popped (plus the initial all-false
+// check): the enumeration's total effort, comparable to a subset scan's
+// scanned count.
+func (e *CostEnum) Visited() int { return e.visited }
+
+// Emitted counts assignments returned so far — the resumable cursor
+// into the deterministic stream.
+func (e *CostEnum) Emitted() int { return e.emitted }
+
+// subtreeSat reports whether some satisfying assignment extends the
+// restriction n (all variables below level decided) with at least one
+// true variable at or above level. It prunes the subset-tree: a node's
+// subtree contains a satisfying subset iff this holds for the node's
+// restriction.
+func (e *CostEnum) subtreeSat(n *Node, level int) bool {
+	if n == e.m.zero {
+		return false
+	}
+	if n == e.m.one {
+		return level < e.m.numVars
+	}
+	if n.Var > level {
+		// n is internal, hence satisfiable, and does not test `level`:
+		// set that unconstrained variable true in any satisfying
+		// completion.
+		return true
+	}
+	// n.Var == level, so the memo key needs no level component.
+	if v, ok := e.oneMemo[n.id]; ok {
+		return v
+	}
+	r := n.High != e.m.zero || e.subtreeSat(n.Low, level+1)
+	e.oneMemo[n.id] = r
+	return r
+}
+
+// zeroSat reports whether the all-false completion of the restriction n
+// satisfies the function (the subset-tree node's own assignment sets
+// exactly its indices).
+func (e *CostEnum) zeroSat(n *Node) bool {
+	if n.IsTerminal() {
+		return n == e.m.one
+	}
+	if v, ok := e.zeroMemo[n.id]; ok {
+		return v
+	}
+	r := e.zeroSat(n.Low)
+	e.zeroMemo[n.id] = r
+	return r
+}
+
+// SatCountBig returns the exact number of satisfying assignments over
+// the full variable universe as a big integer. Use it instead of
+// SatCount whenever the count may reach 2^53, where float64 loses
+// exactness.
+func (m *Manager) SatCountBig(n *Node) *big.Int {
+	memo := map[int]*big.Int{}
+	var count func(n *Node) *big.Int
+	count = func(n *Node) *big.Int {
+		if n == m.zero {
+			return big.NewInt(0)
+		}
+		if n == m.one {
+			return big.NewInt(1)
+		}
+		if c, ok := memo[n.id]; ok {
+			return c
+		}
+		// Each branch skips (child.Var - n.Var - 1) unconstrained
+		// variables.
+		lo := new(big.Int).Lsh(count(n.Low), uint(n.Low.Var-n.Var-1))
+		hi := new(big.Int).Lsh(count(n.High), uint(n.High.Var-n.Var-1))
+		c := lo.Add(lo, hi)
+		memo[n.id] = c
+		return c
+	}
+	return new(big.Int).Lsh(count(n), uint(n.Var))
+}

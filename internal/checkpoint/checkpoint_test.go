@@ -499,3 +499,45 @@ func TestResumeAcrossBatchSizes(t *testing.T) {
 		t.Errorf("sequential resume of a batched checkpoint diverges from the full run")
 	}
 }
+
+// TestOptionsDigestIgnoresEnumerator (acceptance): the enumerator is a
+// performance knob — both producers emit the bit-identical candidate
+// stream — so choosing it must not invalidate an existing checkpoint.
+func TestOptionsDigestIgnoresEnumerator(t *testing.T) {
+	base := OptionsDigest(core.Options{})
+	for _, e := range []core.Enumerator{core.EnumeratorBitset, core.EnumeratorSymbolic, "auto"} {
+		if OptionsDigest(core.Options{Enumerator: e}) != base {
+			t.Fatalf("Enumerator=%q leaked into the options digest", e)
+		}
+	}
+}
+
+// TestResumeAcrossEnumerators: a checkpoint written by a bitset-scan run
+// resumes under the symbolic enumerator (and vice versa) and converges
+// to the uninterrupted front at the uninterrupted cursor — the shared
+// candidate stream makes the cursor transferable between producers.
+func TestResumeAcrossEnumerators(t *testing.T) {
+	s := models.SetTopBox()
+	full := core.Explore(s, core.Options{})
+	part := interruptedResult(t, 800)
+	writeOpts := core.Options{Enumerator: core.EnumeratorBitset}
+	snap, err := FromResult(s, writeOpts, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []core.Enumerator{core.EnumeratorSymbolic, core.EnumeratorBitset} {
+		opts := core.Options{Enumerator: e}
+		res, err := snap.Resume(s, opts)
+		if err != nil {
+			t.Fatalf("Enumerator=%q refused the bitset snapshot: %v", e, err)
+		}
+		opts.Resume = res
+		resumed := core.Explore(s, opts)
+		if !frontsEqual(resumed.Front, full.Front) {
+			t.Errorf("Enumerator=%q: resumed front differs from uninterrupted run", e)
+		}
+		if resumed.Cursor != full.Cursor {
+			t.Errorf("Enumerator=%q: resumed cursor %d, want %d", e, resumed.Cursor, full.Cursor)
+		}
+	}
+}

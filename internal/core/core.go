@@ -110,6 +110,18 @@ type Options struct {
 	// taken under one batch size resumes under any other. Sequential
 	// exploration ignores it.
 	Batch int
+	// Enumerator selects the possible-allocation producer: the
+	// exhaustive cost-ordered subset scan (EnumeratorBitset), the
+	// symbolic BDD-pruned search (EnumeratorSymbolic), or automatic
+	// selection (EnumeratorAuto, the zero value), which switches to
+	// symbolic above autoSymbolicUnits allocatable units. Both
+	// producers emit the bit-identical candidate stream — order, costs,
+	// allocations, range addressing — so the choice never changes
+	// fronts, cursors or semantic counters; only the Scanned effort
+	// counter is producer-specific. Like Batch it is excluded from
+	// checkpoint option digests: a snapshot taken under one enumerator
+	// resumes under any other.
+	Enumerator Enumerator
 
 	// The fields below configure the anytime runtime, not the
 	// exploration semantics: they never change which front a completed
@@ -148,6 +160,62 @@ func (o Options) progressEvery() int {
 		return 64
 	}
 	return o.ProgressEvery
+}
+
+// Enumerator names a possible-allocation producer (Options.Enumerator).
+type Enumerator string
+
+const (
+	// EnumeratorAuto — the zero value; the spelling "auto" is also
+	// accepted — picks the bitset scan up to autoSymbolicUnits
+	// allocatable units and the symbolic enumeration above.
+	EnumeratorAuto Enumerator = ""
+	// EnumeratorBitset forces the exhaustive cost-ordered subset scan
+	// (alloc.EnumerateRange): every one of the 2^n subsets is generated
+	// and tested.
+	EnumeratorBitset Enumerator = "bitset"
+	// EnumeratorSymbolic forces the BDD-pruned cost-ordered search
+	// (alloc.EnumerateSymbolicRange): only subset-tree nodes whose
+	// subtree still contains a possible allocation are visited.
+	EnumeratorSymbolic Enumerator = "symbolic"
+)
+
+// autoSymbolicUnits is EnumeratorAuto's switchover point. Above 20
+// allocatable units the bitset scan's 2^n subsets pass a million while
+// the symbolic search still visits only the trie of the possible set,
+// so auto switches to symbolic there; at or below it the scan's lower
+// constant factor wins. Every specification of the paper's case study
+// (14 units) stays on the bitset scan, so auto preserves the seed's
+// behaviour exactly.
+const autoSymbolicUnits = 20
+
+// ValidEnumerator reports whether s names a selectable enumerator.
+// "auto" and the empty string both select automatic choice. Flag and
+// request validation use it so a misspelled name fails fast instead of
+// silently falling back to a default.
+func ValidEnumerator(s string) bool {
+	switch Enumerator(s) {
+	case EnumeratorAuto, "auto", EnumeratorBitset, EnumeratorSymbolic:
+		return true
+	}
+	return false
+}
+
+// enumeratorFor resolves the configured producer for a specification
+// with n allocatable units. Unknown values panic: the CLI and server
+// layers validate with ValidEnumerator before options reach the engine.
+func (o Options) enumeratorFor(n int) Enumerator {
+	switch o.Enumerator {
+	case EnumeratorBitset, EnumeratorSymbolic:
+		return o.Enumerator
+	case EnumeratorAuto, "auto":
+		if n > autoSymbolicUnits {
+			return EnumeratorSymbolic
+		}
+		return EnumeratorBitset
+	default:
+		panic(fmt.Sprintf("core: unknown enumerator %q", o.Enumerator))
+	}
 }
 
 // Failpoint sites of the exploration engine (see Options.Fault). Both
@@ -239,7 +307,10 @@ type Stats struct {
 	DesignSpace float64 `json:"designSpace"`
 	// AllocSpace is 2^(allocatable units).
 	AllocSpace float64 `json:"allocSpace"`
-	// Scanned counts allocation subsets generated in cost order.
+	// Scanned counts enumeration effort in the producer's own unit:
+	// allocation subsets generated in cost order (bitset scan) or BDD
+	// search nodes visited (symbolic enumeration). Enumerator-specific
+	// telemetry, zeroed by Semantic().
 	Scanned int `json:"scanned"`
 	// PossibleAllocations counts subsets passing the possibility test
 	// (the paper's "set of possible resource allocations").
@@ -347,13 +418,16 @@ func (c CacheStats) BindHits() int {
 }
 
 // Semantic returns the counters that are invariant across cache
-// configuration and resume splitting: what was scanned, estimated,
-// attempted and found feasible. BindingRuns/BindingNodes measure
-// actual solver effort — exactly what caching removes and what a
-// resumed run (cold cache) redoes — and the cache counters measure the
-// caching itself, so both are zeroed. Differential tests compare runs
-// through this view.
+// configuration, enumerator choice and resume splitting: what was
+// found possible, estimated, attempted and found feasible.
+// BindingRuns/BindingNodes measure actual solver effort — exactly what
+// caching removes and what a resumed run (cold cache) redoes — the
+// cache counters measure the caching itself, and Scanned counts effort
+// in the enumerator's own unit (subsets scanned vs BDD nodes visited),
+// so all are zeroed. Differential tests compare runs through this
+// view.
 func (s Stats) Semantic() Stats {
+	s.Scanned = 0
 	s.BindingRuns = 0
 	s.BindingNodes = 0
 	s.Cache = CacheStats{}
@@ -369,7 +443,6 @@ func (s Stats) Semantic() Stats {
 var statsSemanticFields = map[string]bool{
 	"DesignSpace":         true,
 	"AllocSpace":          true,
-	"Scanned":             true,
 	"PossibleAllocations": true,
 	"Estimated":           true,
 	"Attempted":           true,

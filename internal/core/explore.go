@@ -37,17 +37,14 @@ func ExploreContext(ctx context.Context, s *spec.Spec, opts Options) *Result {
 	idx := startCursor
 	lastEmit := startCursor
 	res.Cursor = startCursor
-	// EnumerateRange replays the resumed prefix inside the enumeration
-	// (no allocation maps materialized); the prefix candidates are
+	// The enumeration replays the resumed prefix internally (no
+	// allocation maps materialized); the prefix candidates are
 	// accounted here so the running count matches a from-scratch scan.
 	res.Stats.PossibleAllocations = startCursor
 
 	ev := newEvaluator(s, opts)
 	_, _, pc, _ := s.Problem.ElementCount()
-	aStats := alloc.EnumerateRange(s, alloc.Options{
-		IncludeUselessComm: opts.IncludeUselessComm,
-		MaxScan:            opts.MaxScan,
-	}, startCursor, func(c alloc.Candidate) bool {
+	aStats := enumerateRange(s, opts, startCursor, func(c alloc.Candidate) bool {
 		res.Stats.PossibleAllocations++
 		if ctx.Err() != nil {
 			res.Interrupted, res.Reason = true, reasonFor(ctx)
@@ -143,6 +140,23 @@ func seedResume(res *Result, front *pareto.Front, r *Resume) (fcur float64, star
 		}
 	}
 	return fcur, r.Cursor
+}
+
+// enumerateRange drives the cost-ordered candidate stream through the
+// producer Options.Enumerator selects. Both producers emit the
+// bit-identical stream with the same range addressing, so everything
+// downstream — fronts, cursors, resume, checkpoints — is oblivious to
+// the choice; only the Scanned effort counter (and what MaxScan
+// bounds) is producer-specific.
+func enumerateRange(s *spec.Spec, opts Options, start int, fn func(alloc.Candidate) bool) alloc.Stats {
+	ao := alloc.Options{
+		IncludeUselessComm: opts.IncludeUselessComm,
+		MaxScan:            opts.MaxScan,
+	}
+	if opts.enumeratorFor(len(alloc.Units(s))) == EnumeratorSymbolic {
+		return alloc.EnumerateSymbolicRange(s, ao, start, fn)
+	}
+	return alloc.EnumerateRange(s, ao, start, fn)
 }
 
 // finishResult folds the enumeration statistics into the result and

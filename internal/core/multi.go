@@ -152,10 +152,7 @@ func ExploreMultiContext(ctx context.Context, s *spec.Spec, opts Options, object
 	front := &pareto.Front{}
 	ev := newEvaluator(s, opts)
 	_, _, pc, _ := s.Problem.ElementCount()
-	aStats := alloc.Enumerate(s, alloc.Options{
-		IncludeUselessComm: opts.IncludeUselessComm,
-		MaxScan:            opts.MaxScan,
-	}, func(c alloc.Candidate) bool {
+	aStats := enumerateRange(s, opts, 0, func(c alloc.Candidate) bool {
 		if ctx.Err() != nil {
 			res.Interrupted, res.Reason = true, reasonFor(ctx)
 			return false

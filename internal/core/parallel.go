@@ -96,8 +96,8 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 		results: make(chan *pipeBatch, queue+workers),
 		done:    make(chan struct{}),
 	}
-	// EnumerateRange replays the resumed prefix inside the enumeration;
-	// seed the counter so the running count matches a from-scratch scan.
+	// The enumeration replays the resumed prefix internally; seed the
+	// counter so the running count matches a from-scratch scan.
 	p.possible.Store(int64(startCursor))
 	p.storeBound(fcur)
 
@@ -157,10 +157,7 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 		}
 	}
 	_, _, pc, _ := s.Problem.ElementCount()
-	aStats := alloc.EnumerateRange(s, alloc.Options{
-		IncludeUselessComm: opts.IncludeUselessComm,
-		MaxScan:            opts.MaxScan,
-	}, startCursor, func(cd alloc.Candidate) bool {
+	aStats := enumerateRange(s, opts, startCursor, func(cd alloc.Candidate) bool {
 		p.possible.Add(1)
 		if ctx.Err() != nil {
 			producerCancelled = true

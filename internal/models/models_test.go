@@ -242,6 +242,25 @@ func TestPropSyntheticValid(t *testing.T) {
 	}
 }
 
+// TestScaledSynthetic: the scaled family hits its unit budget exactly
+// (the unit count is the symbolic enumerator's variable count, so the
+// scaling benchmarks depend on it being precise) and always admits at
+// least one possible allocation.
+func TestScaledSynthetic(t *testing.T) {
+	for _, u := range []int{30, 50, 100} {
+		s := Synthetic(ScaledSynthetic(1, u))
+		if err := s.Validate(); err != nil {
+			t.Fatalf("units=%d: invalid spec: %v", u, err)
+		}
+		if got := len(alloc.Units(s)); got != u {
+			t.Errorf("units=%d: alloc.Units = %d", u, got)
+		}
+		if n := alloc.CountPossibleBig(s); n.Sign() <= 0 {
+			t.Errorf("units=%d: no possible allocations", u)
+		}
+	}
+}
+
 func TestSyntheticDegenerate(t *testing.T) {
 	// Zero-valued params fall back to defaults without panicking.
 	s := Synthetic(SyntheticParams{Seed: 1})

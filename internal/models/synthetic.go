@@ -46,6 +46,30 @@ func DefaultSynthetic(seed int64) SyntheticParams {
 	}
 }
 
+// ScaledSynthetic returns parameters whose architecture flattens to
+// exactly units allocation units (alloc.Units counts the processors,
+// ASICs, buses and FPGA design clusters), apportioned roughly like the
+// case study: ~1/10 processors, ~1/5 ASICs, ~1/10 FPGA designs, the
+// rest buses. The problem graph keeps the default shape, so the unit
+// count — the number of binary variables a possible-allocation
+// enumerator branches on — is the only axis that grows; the bitset
+// scan over such a spec touches 2^units subsets while the symbolic
+// enumerator walks only the satisfying region.
+func ScaledSynthetic(seed int64, units int) SyntheticParams {
+	if units < 8 {
+		units = 8
+	}
+	procs := maxInt(2, units/10)
+	asics := maxInt(1, units/5)
+	designs := maxInt(1, units/10)
+	return SyntheticParams{
+		Seed: seed, Apps: 3, Depth: 1, Branch: 2, Vertices: 2,
+		Processors: procs, ASICs: asics, Designs: designs,
+		Buses:         units - procs - asics - designs,
+		TimedFraction: 0.4, AccelOnlyFraction: 0.25,
+	}
+}
+
 func (p SyntheticParams) withDefaults() SyntheticParams {
 	if p.Apps <= 0 {
 		p.Apps = 3

@@ -94,6 +94,7 @@ type job struct {
 	onDisk      bool         // a digest-guarded checkpoint exists at ckPath
 	result      *core.Result
 	errMsg      string
+	doneAt      time.Time // when the job turned terminal; zero until then
 	latest      ProgressEvent
 	subs        map[int]chan ProgressEvent
 	nextSub     int

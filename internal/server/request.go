@@ -40,9 +40,16 @@ type Request struct {
 	// implemented.
 	StopAtMaxFlex bool `json:"stopAtMaxFlex,omitempty"`
 
-	// MaxScan bounds the allocation subsets scanned (0 = unbounded) —
-	// the per-job candidate-scan budget.
+	// MaxScan bounds the enumeration effort (0 = unbounded) — the
+	// per-job candidate-scan budget, counted in the enumerator's own
+	// unit: subsets scanned (bitset) or BDD search nodes visited
+	// (symbolic).
 	MaxScan int `json:"maxScan,omitempty"`
+	// Enumerator selects the possible-allocation producer: "bitset",
+	// "symbolic", or "auto"/"" (bitset at small unit counts, symbolic
+	// above). The choice never changes the result — both producers emit
+	// the bit-identical candidate stream — only the scan effort.
+	Enumerator string `json:"enumerator,omitempty"`
 	// MaxECS bounds the behaviours tested per candidate.
 	MaxECS int `json:"maxEcs,omitempty"`
 	// MaxBindNodes bounds each binding search.
@@ -197,6 +204,9 @@ func (s *Server) jobFromRequest(req *Request, sp *spec.Spec) (*job, *apiError) {
 	if req.CheckpointEvery < 0 {
 		return nil, errBudget(`"checkpointEvery" must be >= 0 (0 selects 64)`)
 	}
+	if !core.ValidEnumerator(req.Enumerator) {
+		return nil, errBudget(fmt.Sprintf(`unknown "enumerator" %q (auto | bitset | symbolic)`, req.Enumerator))
+	}
 	deadline := time.Duration(req.DeadlineMs) * time.Millisecond
 	if deadline == 0 {
 		deadline = s.cfg.MaxDeadline
@@ -243,6 +253,7 @@ func (s *Server) jobFromRequest(req *Request, sp *spec.Spec) (*job, *apiError) {
 			MaxECS:             req.MaxECS,
 			MaxBindNodes:       req.MaxBindNodes,
 			Batch:              req.Batch,
+			Enumerator:         core.Enumerator(req.Enumerator),
 		},
 	}
 	if deadline > 0 {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -347,6 +348,7 @@ func (s *Server) finalizeLocked(j *job, st State, res *core.Result, errMsg strin
 	j.pending = pendingNone
 	j.result = res
 	j.errMsg = errMsg
+	j.doneAt = time.Now() // starts the JobTTL eviction clock
 	switch st {
 	case StateCompleted:
 		s.counters.Completed++
@@ -475,6 +477,7 @@ func removeJob(list []*job, j *job) []*job {
 // in-flight work is parked or terminal, or with an error when ctx
 // expires first (remaining segments are then force-cancelled).
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopSweeper()
 	s.mu.Lock()
 	s.draining = true
 	for _, j := range s.running {

@@ -82,6 +82,13 @@ type Config struct {
 	// MaxDeadline caps (and defaults) the per-job wall-clock budget;
 	// 0 = no default and no cap.
 	MaxDeadline time.Duration
+	// JobTTL evicts terminal (completed/failed/cancelled) jobs from the
+	// in-memory registry once they have been terminal for this long;
+	// subsequent GETs answer 404 and /stats counts the eviction. The
+	// checkpoint file on disk is left untouched — eviction frees server
+	// memory, it never destroys a resumable snapshot. 0 keeps terminal
+	// jobs forever.
+	JobTTL time.Duration
 	// DefaultWorkers is the worker budget of jobs that do not ask for
 	// one. <= 0 selects 1 (sequential).
 	DefaultWorkers int
@@ -161,6 +168,7 @@ type Counters struct {
 	Completed          int `json:"completed"`
 	Failed             int `json:"failed"`
 	Cancelled          int `json:"cancelled"`
+	Evicted            int `json:"evicted"`
 }
 
 // Stats is the /stats document: the live queue gauges, the counters,
@@ -193,6 +201,9 @@ type Server struct {
 	counters Counters
 	changed  chan struct{} // pulsed on every state change (Shutdown waits on it)
 	wg       sync.WaitGroup
+
+	sweepStop chan struct{} // closes the TTL sweeper; nil when JobTTL == 0
+	sweepOnce sync.Once
 }
 
 // New validates the configuration, creates the checkpoint directory
@@ -205,15 +216,96 @@ func New(cfg Config) (*Server, error) {
 	if cfg.HighWater > cfg.queueDepth() {
 		return nil, fmt.Errorf("server: HighWater %d exceeds QueueDepth %d", cfg.HighWater, cfg.queueDepth())
 	}
+	if cfg.JobTTL < 0 {
+		return nil, fmt.Errorf("server: JobTTL must be >= 0, got %s", cfg.JobTTL)
+	}
 	if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating checkpoint dir: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		jobs:    map[string]*job{},
 		running: map[string]*job{},
 		changed: make(chan struct{}, 1),
-	}, nil
+	}
+	if cfg.JobTTL > 0 {
+		s.sweepStop = make(chan struct{})
+		go s.sweeper(s.sweepStop)
+	}
+	return s, nil
+}
+
+// stopSweeper shuts the TTL sweeper down exactly once; safe to call on
+// a server that never started one.
+func (s *Server) stopSweeper() {
+	s.sweepOnce.Do(func() {
+		if s.sweepStop != nil {
+			close(s.sweepStop)
+		}
+	})
+}
+
+// sweeper periodically evicts terminal jobs past their TTL. The ticker
+// cadence only bounds staleness; the eviction decision itself lives in
+// sweep, which tests drive with explicit clocks.
+func (s *Server) sweeper(stop <-chan struct{}) {
+	t := time.NewTicker(sweepInterval(s.cfg.JobTTL))
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			s.sweep(now)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// sweepInterval picks the sweeper cadence: half the TTL, clamped to
+// [1s, 1min] so tiny TTLs cannot busy-spin and huge TTLs still evict
+// within a minute of expiry.
+func sweepInterval(ttl time.Duration) time.Duration {
+	iv := ttl / 2
+	if iv < time.Second {
+		iv = time.Second
+	}
+	if iv > time.Minute {
+		iv = time.Minute
+	}
+	return iv
+}
+
+// sweep evicts every terminal job whose terminal transition is at
+// least JobTTL old as of now, returning the eviction count. Terminal
+// jobs live only in the jobs map and the admission-order list (never
+// in queue/parked/running), so removal there is complete; the
+// checkpoint file stays on disk.
+func (s *Server) sweep(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.JobTTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.cfg.JobTTL)
+	n := 0
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if j.state.Terminal() && !j.doneAt.IsZero() && !j.doneAt.After(cutoff) {
+			delete(s.jobs, j.id)
+			s.counters.Evicted++
+			n++
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil // release the evicted jobs to the GC
+	}
+	s.order = kept
+	if n > 0 {
+		s.cfg.logf("evicted %d terminal job(s) older than %s", n, s.cfg.JobTTL)
+	}
+	return n
 }
 
 // Handler returns the service's HTTP routes.

@@ -231,6 +231,19 @@ func TestSubmitToResult(t *testing.T) {
 	}
 }
 
+// TestSubmitSymbolicEnumerator: a job may pick the symbolic producer;
+// the served result matches the symbolic baseline (front, cursor, and
+// the producer's own scanned count).
+func TestSubmitSymbolicEnumerator(t *testing.T) {
+	_, ts := newTestServer(t, Config{Lint: true})
+	id := submit(t, ts, `{"model": "settop", "workers": 1, "enumerator": "symbolic"}`)
+	got := fetchResult(t, ts, id)
+	requireSameFront(t, got, core.Explore(models.SetTopBox(), core.Options{Enumerator: core.EnumeratorSymbolic}))
+	if got["reason"] != "completed" {
+		t.Errorf("reason = %v, want completed", got["reason"])
+	}
+}
+
 // TestLintAdmission: a structurally valid but defective specification
 // (SL001 corpus: an unreachable leaf) is rejected at the door with 422
 // and the full diagnostic report.
@@ -293,6 +306,7 @@ func TestAdmissionRejections(t *testing.T) {
 		{"negative cadence", `{"model": "settop", "checkpointEvery": -2}`, http.StatusBadRequest, CodeBadBudget},
 		{"negative batch", `{"model": "settop", "batch": -1}`, http.StatusBadRequest, CodeBadBudget},
 		{"unknown timing", `{"model": "settop", "timing": "edf"}`, http.StatusBadRequest, CodeBadBudget},
+		{"unknown enumerator", `{"model": "settop", "enumerator": "bdd"}`, http.StatusBadRequest, CodeBadBudget},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -571,5 +585,67 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := New(Config{CheckpointDir: t.TempDir(), QueueDepth: 4, HighWater: 9}); err == nil {
 		t.Error("want error for HighWater above QueueDepth")
+	}
+}
+
+// TestJobTTLEviction: terminal jobs past the TTL vanish from the
+// registry (404, gone from /stats) while fresher and non-terminal jobs
+// survive. The sweep is driven with explicit clocks so the test never
+// sleeps through a real TTL.
+func TestJobTTLEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{JobTTL: time.Minute})
+	old := submit(t, ts, `{"model": "settop", "workers": 1}`)
+	fresh := submit(t, ts, `{"model": "settop", "workers": 1}`)
+	waitState(t, ts, old, StateCompleted)
+	waitState(t, ts, fresh, StateCompleted)
+
+	// Pin the terminal timestamps so the sweep decision is deterministic:
+	// "old" expired exactly at base+TTL, "fresh" has 30s left.
+	base := time.Now()
+	s.mu.Lock()
+	s.jobs[old].doneAt = base
+	s.jobs[fresh].doneAt = base.Add(30 * time.Second)
+	s.mu.Unlock()
+
+	if n := s.sweep(base.Add(time.Minute)); n != 1 {
+		t.Fatalf("sweep evicted %d jobs, want 1", n)
+	}
+	if status, m := get(t, ts, "/jobs/"+old); status != http.StatusNotFound {
+		t.Errorf("GET evicted job: status %d (%v), want 404", status, m)
+	}
+	if status, _ := get(t, ts, "/jobs/"+fresh); status != http.StatusOK {
+		t.Errorf("GET fresh job: status %d, want 200", status)
+	}
+	st := s.Snapshot()
+	if st.Counters.Evicted != 1 {
+		t.Errorf("evicted counter = %d, want 1", st.Counters.Evicted)
+	}
+	if len(st.Jobs) != 1 || st.Jobs[0].ID != fresh {
+		t.Errorf("stats jobs = %+v, want only %s", st.Jobs, fresh)
+	}
+
+	// Idempotent at the same instant; a non-terminal job is never
+	// evicted no matter how stale its clock looks.
+	if n := s.sweep(base.Add(time.Minute)); n != 0 {
+		t.Errorf("second sweep evicted %d jobs, want 0", n)
+	}
+	s.mu.Lock()
+	s.jobs[fresh].state = StateRunning
+	s.jobs[fresh].doneAt = base.Add(-time.Hour)
+	s.mu.Unlock()
+	if n := s.sweep(base.Add(time.Hour)); n != 0 {
+		t.Errorf("sweep evicted a non-terminal job")
+	}
+	s.mu.Lock()
+	s.jobs[fresh].state = StateCompleted
+	s.mu.Unlock()
+
+	// Eviction frees memory, not disk: the checkpoint file (if any)
+	// and a zero-TTL server's jobs are untouched.
+	s0, ts0 := newTestServer(t, Config{})
+	id0 := submit(t, ts0, `{"model": "settop", "workers": 1}`)
+	waitState(t, ts0, id0, StateCompleted)
+	if n := s0.sweep(time.Now().Add(24 * time.Hour)); n != 0 {
+		t.Errorf("zero-TTL sweep evicted %d jobs, want 0", n)
 	}
 }

@@ -13,12 +13,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 count="${1:-5}"
+# Record the machine's CPU count: benchdiff refuses to gate the
+# workers=8 scaling ratio when either side ran on fewer than 4 CPUs
+# (the ratio is meaningless there).
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench 'E2|E5|Explore|Enumerate|ServerOverhead' -benchmem -count "$count" . | tee "$raw"
 
-awk -v count="$count" '
+awk -v count="$count" -v ncpu="$ncpu" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
@@ -48,7 +52,7 @@ END {
             speedup[name] = (sum[kb] / cnt[kb]) / (sum[k] / cnt[k])
         }
     }
-    printf "{\n  \"count\": %d,\n  \"benchmarks\": [\n", count
+    printf "{\n  \"count\": %d,\n  \"num_cpu\": %d,\n  \"benchmarks\": [\n", count, ncpu
     for (b = 1; b <= nb; b++) {
         name = order[b]
         printf "    {\"name\": \"%s\", \"iterations\": %d", name, runs[name]

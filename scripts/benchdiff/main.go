@@ -20,7 +20,12 @@
 // speedup_vs_1 field — older baselines without the field simply leave
 // the gate inactive — and fails when the new ratio loses more than
 // -max-scaling-loss percent of the committed one, or when a
-// gated-and-committed ratio is missing from the new file.
+// gated-and-committed ratio is missing from the new file. When either
+// file records a num_cpu below 4 (bench.sh writes the machine's CPU
+// count), the scaling gate is skipped entirely with a loud warning: a
+// workers=8 speedup measured on 1–3 CPUs says nothing about pipeline
+// scaling. Files without num_cpu keep the gate active, so older
+// baselines stay comparable.
 //
 // Exit status: 0 gates passed, 1 regression, 2 operational error
 // (bad flags, unreadable or malformed input, nothing to compare).
@@ -38,6 +43,7 @@ import (
 
 type benchFile struct {
 	Count      int                          `json:"count"`
+	NumCPU     int                          `json:"num_cpu"`
 	Benchmarks []map[string]json.RawMessage `json:"benchmarks"`
 }
 
@@ -50,15 +56,16 @@ type entry struct {
 }
 
 // load returns benchmark name → entry for every benchmark that carries
-// an ns/op.
-func load(path string) (map[string]entry, error) {
+// an ns/op, plus the recorded CPU count (0 when the file predates the
+// num_cpu field).
+func load(path string) (map[string]entry, int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var f benchFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
 	}
 	out := make(map[string]entry, len(f.Benchmarks))
 	for _, b := range f.Benchmarks {
@@ -78,7 +85,7 @@ func load(path string) (map[string]entry, error) {
 		}
 		out[name] = e
 	}
-	return out, nil
+	return out, f.NumCPU, nil
 }
 
 func main() {
@@ -114,15 +121,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
 	}
-	old, err := load(fs.Arg(0))
+	old, oldCPU, err := load(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
 	}
-	cur, err := load(fs.Arg(1))
+	cur, curCPU, err := load(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
+	}
+	// A workers=8 speedup ratio from a 1–3-CPU machine is noise, not
+	// signal; refuse to gate on it rather than fail spuriously. 0 means
+	// the file predates the num_cpu field — keep the gate active so old
+	// baselines stay comparable.
+	scalingActive := true
+	lowCPU := func(n int) bool { return n > 0 && n < 4 }
+	if lowCPU(oldCPU) || lowCPU(curCPU) {
+		scalingActive = false
+		fmt.Fprintf(stderr, "benchdiff: WARNING: scaling gate SKIPPED — baseline ran with %d CPU(s), candidate with %d; speedup_vs_1 needs >= 4 CPUs to be meaningful\n", oldCPU, curCPU)
 	}
 
 	var names []string
@@ -153,7 +170,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintf(stdout, "%-50s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", name, o.ns, n.ns, delta, status)
-		if !scalingGate.MatchString(name) || !o.hasSpeedup {
+		if !scalingActive || !scalingGate.MatchString(name) || !o.hasSpeedup {
 			// The scaling gate engages only where the committed baseline
 			// recorded a ratio: old baselines stay comparable.
 			continue

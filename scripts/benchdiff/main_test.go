@@ -246,3 +246,55 @@ func TestScalingGateMissingNewRatio(t *testing.T) {
 		t.Errorf("missing ratio not diagnosed:\n%s", errOut)
 	}
 }
+
+// writeBenchCPU is writeBenchSpeedup plus a top-level num_cpu field.
+func writeBenchCPU(t *testing.T, name string, numCPU int, benches map[string][2]float64) string {
+	t.Helper()
+	var entries []string
+	for n, v := range benches {
+		if v[1] > 0 {
+			entries = append(entries, fmt.Sprintf(`{"name":%q,"ns/op":%g,"speedup_vs_1":%g}`, n, v[0], v[1]))
+		} else {
+			entries = append(entries, fmt.Sprintf(`{"name":%q,"ns/op":%g}`, n, v[0]))
+		}
+	}
+	data := fmt.Sprintf(`{"count":%d,"num_cpu":%d,"benchmarks":[%s]}`,
+		len(benches), numCPU, strings.Join(entries, ","))
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScalingGateSkippedOnLowCPU: a speedup collapse that would fail
+// the gate passes — with a loud warning — when either side ran on
+// fewer than 4 CPUs, where workers=8 ratios are noise.
+func TestScalingGateSkippedOnLowCPU(t *testing.T) {
+	collapse := map[string][2]float64{gatedName: {1000, 0}, scaledName: {900, 1.05}}
+	committed := map[string][2]float64{gatedName: {1000, 0}, scaledName: {900, 3.0}}
+	cases := []struct{ oldCPU, newCPU int }{{1, 8}, {8, 2}, {1, 1}}
+	for _, tc := range cases {
+		old := writeBenchCPU(t, "old.json", tc.oldCPU, committed)
+		cur := writeBenchCPU(t, "new.json", tc.newCPU, collapse)
+		code, out, errOut := runDiff(t, old, cur)
+		if code != 0 {
+			t.Fatalf("cpus %d->%d: exit = %d, want 0 (gate skipped)\n%s", tc.oldCPU, tc.newCPU, code, out)
+		}
+		if !strings.Contains(errOut, "scaling gate SKIPPED") {
+			t.Errorf("cpus %d->%d: no loud warning on stderr:\n%s", tc.oldCPU, tc.newCPU, errOut)
+		}
+	}
+	// Both sides >= 4 CPUs: the same collapse must still fail.
+	old := writeBenchCPU(t, "old.json", 8, committed)
+	cur := writeBenchCPU(t, "new.json", 4, collapse)
+	if code, out, _ := runDiff(t, old, cur); code != 1 {
+		t.Fatalf("8->4 CPUs: exit = %d, want 1 (gate active)\n%s", code, out)
+	}
+	// Files without num_cpu keep the gate active (old baselines).
+	old = writeBenchSpeedup(t, "old.json", committed)
+	cur = writeBenchSpeedup(t, "new.json", collapse)
+	if code, out, _ := runDiff(t, old, cur); code != 1 {
+		t.Fatalf("no num_cpu: exit = %d, want 1 (gate active)\n%s", code, out)
+	}
+}

@@ -101,6 +101,7 @@ type cliFlags struct {
 	cache           string
 	workers         int
 	batch           int
+	producers       int
 	enumerator      string
 	prof            profiling.Flags
 	explicit        map[string]bool
@@ -146,6 +147,12 @@ func (f *cliFlags) problems() []string {
 	if f.batch != 0 && f.workers == 1 {
 		out = append(out, "-batch only applies to parallel exploration (-workers != 1)")
 	}
+	if f.producers < 0 {
+		out = append(out, "-producers must be >= 0 (0 selects the automatic producer count)")
+	}
+	if f.explicit["producers"] && f.modeSelected() {
+		out = append(out, "-producers only applies to the default Pareto run")
+	}
 	if !core.ValidEnumerator(f.enumerator) {
 		out = append(out, "-enumerator must be auto, bitset or symbolic")
 	}
@@ -179,6 +186,7 @@ func run() int {
 	cache := flag.String("cache", "on", "cross-candidate evaluation caches: on | off (off is the uncached differential/ablation baseline)")
 	workers := flag.Int("workers", 1, "parallel exploration workers for the default run (0 = GOMAXPROCS); the front is identical to sequential")
 	batch := flag.Int("batch", 0, "candidates per parallel range job (0 = adaptive); the front is identical for every batch size")
+	producers := flag.Int("producers", 0, "candidate-producer shards merged back into cost order (0 = auto); the stream is identical for every count (see docs/performance.md)")
 	enumerator := flag.String("enumerator", "auto", "possible-allocation producer: auto | bitset | symbolic; the front is identical either way (see docs/symbolic.md)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -188,7 +196,7 @@ func run() int {
 	fl := &cliFlags{
 		table1: *table1, tradeoff: *tradeoff, compare: *compare, verify: *verify,
 		family: *family, timeout: *timeout, checkpoint: *ckPath, checkpointEvery: *ckEvery,
-		resume: *resume, cache: *cache, workers: *workers, batch: *batch, enumerator: *enumerator,
+		resume: *resume, cache: *cache, workers: *workers, batch: *batch, producers: *producers, enumerator: *enumerator,
 		prof:     profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath},
 		explicit: map[string]bool{},
 	}
@@ -225,7 +233,7 @@ func run() int {
 			return 1
 		}
 	}
-	opts := core.Options{Timing: timingPolicy(*timing), Weighted: *weighted, DisableCache: *cache == "off", Batch: *batch, Enumerator: core.Enumerator(*enumerator)}
+	opts := core.Options{Timing: timingPolicy(*timing), Weighted: *weighted, DisableCache: *cache == "off", Batch: *batch, Producers: *producers, Enumerator: core.Enumerator(*enumerator)}
 
 	switch {
 	case *table1:
@@ -315,12 +323,16 @@ func run() int {
 			fmt.Printf("evaluation caches   : %d bindings reused / %d solved, flatten %d/%d hits (problem/arch)\n",
 				c.BindHits(), c.BindMisses, c.FlattenHits, c.ArchFlattenHits)
 		}
-		if p := st.Pipeline; p != (core.PipelineStats{}) {
+		if p := st.Pipeline; p.Workers > 0 {
 			fmt.Printf("parallel pipeline   : %d workers, queue %d (high water %d), %d commit stalls, %s busy\n",
 				p.Workers, p.QueueDepth, p.QueueHighWater, p.CommitStalls,
 				time.Duration(p.BusyNanos).Round(time.Millisecond))
 			fmt.Printf("range jobs          : %d committed (batch size %d), %d bound publishes\n",
 				p.BatchesCommitted, p.BatchSize, p.BoundPublishes)
+		}
+		if p := st.Pipeline; p.Producers > 0 {
+			fmt.Printf("sharded producers   : %d shards, %s busy, %d merge stalls\n",
+				p.Producers, time.Duration(p.ProducerBusyNanos).Round(time.Millisecond), p.MergeStalls)
 		}
 		fmt.Printf("maximum flexibility : %g\n", r.MaxFlexibility)
 	}

@@ -49,6 +49,7 @@ type cliFlags struct {
 	upgradeFrom     string
 	workers         int
 	batch           int
+	producers       int
 	enumerator      string
 	iters           int
 	checkpointEvery int
@@ -72,6 +73,12 @@ func (f *cliFlags) problems() []string {
 	}
 	if f.explicit["batch"] && f.workers == 1 {
 		out = append(out, "-batch only applies to parallel exploration (-workers != 1)")
+	}
+	if f.producers < 0 {
+		out = append(out, "-producers must be >= 0 (0 selects the automatic producer count)")
+	}
+	if f.explicit["producers"] && f.algo != "explore" && f.algo != "exhaustive" {
+		out = append(out, "-producers requires a cost-ordered scan (-algo explore or exhaustive)")
 	}
 	if !core.ValidEnumerator(f.enumerator) {
 		out = append(out, "-enumerator must be auto, bitset or symbolic")
@@ -141,6 +148,7 @@ func run() int {
 	upgradeFrom := flag.String("upgrade-from", "", "comma-separated deployed units; explore cost-ordered upgrades (supersets only)")
 	workers := flag.Int("workers", 1, "parallel exploration workers (0 = GOMAXPROCS); front is identical to sequential")
 	batch := flag.Int("batch", 0, "candidates per parallel range job (0 = adaptive); the front is identical for every batch size")
+	producers := flag.Int("producers", 0, "candidate-producer shards merged back into cost order (0 = auto); the stream is identical for every count (see docs/performance.md)")
 	enumerator := flag.String("enumerator", "auto", "possible-allocation producer: auto | bitset | symbolic; the front is identical either way (see docs/symbolic.md)")
 	lintMode := flag.String("lint", "on", "preflight static analysis: on | off (see docs/lint-codes.md)")
 	timeout := flag.Duration("timeout", 0, "stop the scan after this duration and print the best-so-far front (0 = no limit)")
@@ -155,7 +163,7 @@ func run() int {
 
 	fl := &cliFlags{
 		algo: *algo, model: *model, objectives: *objectives, upgradeFrom: *upgradeFrom,
-		workers: *workers, batch: *batch, enumerator: *enumerator, iters: *iters, checkpointEvery: *ckEvery,
+		workers: *workers, batch: *batch, producers: *producers, enumerator: *enumerator, iters: *iters, checkpointEvery: *ckEvery,
 		timeout: *timeout, checkpoint: *ckPath, resume: *resume, cache: *cache,
 		prof:     profiling.Flags{CPUProfile: *cpuProfile, MemProfile: *memProfile, Trace: *tracePath},
 		explicit: map[string]bool{},
@@ -191,7 +199,7 @@ func run() int {
 		}
 	}
 
-	opts := core.Options{Weighted: *weighted, StopAtMaxFlex: *stopMax, DisableCache: *cache == "off", Batch: *batch, Enumerator: core.Enumerator(*enumerator)}
+	opts := core.Options{Weighted: *weighted, StopAtMaxFlex: *stopMax, DisableCache: *cache == "off", Batch: *batch, Producers: *producers, Enumerator: core.Enumerator(*enumerator)}
 	switch *timing {
 	case "paper":
 		opts.Timing = bind.TimingPaper
@@ -351,12 +359,16 @@ func run() int {
 			fmt.Printf("binding memo         : %d reused (%d exact, %d replayed, %d dominated), %d solved, %d supportable-sets reused\n",
 				c.BindHits(), c.BindExactHits, c.BindReplayHits, c.BindInfeasibleHits, c.BindMisses, c.SupportableReused)
 		}
-		if p := st.Pipeline; p != (core.PipelineStats{}) {
+		if p := st.Pipeline; p.Workers > 0 {
 			fmt.Printf("parallel pipeline    : %d workers, queue %d (high water %d), %d commit stalls, %s busy\n",
 				p.Workers, p.QueueDepth, p.QueueHighWater, p.CommitStalls,
 				time.Duration(p.BusyNanos).Round(time.Millisecond))
 			fmt.Printf("range jobs           : %d committed (batch size %d), %d bound publishes\n",
 				p.BatchesCommitted, p.BatchSize, p.BoundPublishes)
+		}
+		if p := st.Pipeline; p.Producers > 0 {
+			fmt.Printf("sharded producers    : %d shards, %s busy, %d merge stalls\n",
+				p.Producers, time.Duration(p.ProducerBusyNanos).Round(time.Millisecond), p.MergeStalls)
 		}
 		fmt.Printf("termination          : %s (cursor %d)\n", r.Reason, r.Cursor)
 		if len(st.Diags) > 0 {

@@ -173,6 +173,19 @@ type Stats struct {
 	// SearchSpace is 2^(number of units), the size of the unreduced
 	// allocation space.
 	SearchSpace float64
+	// Producers is the number of producer goroutines the candidates
+	// flowed through: 0 for the direct single-goroutine scans, >= 1 for
+	// the sharded enumerators (a sharded run with one producer still
+	// pays the merge). Telemetry, not semantics.
+	Producers int
+	// ProducerBusyNanos sums, over producer goroutines, the time spent
+	// walking the subset tree (wall time minus blocked-send time).
+	// Telemetry, not semantics.
+	ProducerBusyNanos int64
+	// MergeStalls counts merge-side reads that found the needed
+	// producer stream empty and had to block — the back-pressure signal
+	// of the k-way merge. Telemetry, not semantics.
+	MergeStalls int
 }
 
 // Candidate is one possible resource allocation with its cost.
@@ -207,79 +220,17 @@ func Enumerate(s *spec.Spec, opts Options, fn func(Candidate) bool) Stats {
 // range-partitioned scan replays its prefix at raw scan speed, paying
 // the map allocation only for candidates actually delivered to fn.
 func EnumerateRange(s *spec.Spec, opts Options, start int, fn func(Candidate) bool) Stats {
-	units := Units(s)
-	n := len(units)
+	env := newScanEnv(s)
+	n := env.n
 	stats := Stats{SearchSpace: SearchSpace(n)}
 
-	sup := NewSupporter(s)
-	// unitRes[k]: leaf resources unit k provides. commAdjBits[k]: for a
-	// bus unit, the unit indices it touches (nil for functional units).
-	unitRes := make([]bitset.Set, n)
-	commAdjBits := make([]bitset.Set, n)
-	pos := make(map[hgraph.ID]int, n)
-	for k, u := range units {
-		pos[u.ID] = k
-	}
-	adj := commAdjacency(s, units)
-	for k, u := range units {
-		unitRes[k] = sup.provides[u.ID]
-		if u.Comm {
-			bs := bitset.New(n)
-			for other := range adj[u.ID] {
-				bs.Add(pos[other])
-			}
-			commAdjBits[k] = bs
-		}
-	}
-
-	// Scratch state for the possibility test, reused across candidates.
-	memo := make([]int8, sup.Clusters.Len())
-	avail := bitset.New(sup.Resources.Len())
-	rootSupportable := func(idx []int) bool {
-		avail.Clear()
-		for _, k := range idx {
-			avail.UnionWith(unitRes[k])
-		}
-		for i := range memo {
-			memo[i] = 0
-		}
-		return sup.supportableFrom(sup.root, avail, memo)
-	}
-	uselessComm := func(cur *subset) bool {
-		for _, k := range cur.idx {
-			if units[k].Comm && commAdjBits[k].IntersectionCount(cur.bits) < 2 {
-				return true
-			}
-		}
-		return false
-	}
-
+	sc := env.newScratch()
 	pool := sync.Pool{New: func() any { return &subset{bits: bitset.New(n)} }}
-	// child derives a heap node from cur: extend appends unit m+1,
-	// replace swaps the last unit m for m+1 (each subset generated
-	// exactly once, as before).
-	child := func(cur *subset, replace bool) *subset {
-		m := cur.idx[len(cur.idx)-1]
-		c := pool.Get().(*subset)
-		c.idx = append(c.idx[:0], cur.idx...)
-		c.bits.Clear()
-		c.bits.UnionWith(cur.bits)
-		if replace {
-			c.idx[len(c.idx)-1] = m + 1
-			c.bits.Remove(m)
-			c.cost = cur.cost - units[m].Cost + units[m+1].Cost
-		} else {
-			c.idx = append(c.idx, m+1)
-			c.cost = cur.cost + units[m+1].Cost
-		}
-		c.bits.Add(m + 1)
-		return c
-	}
 
 	h := &subsetHeap{}
 	if n > 0 {
 		first := pool.Get().(*subset)
-		first.cost = units[0].Cost
+		first.cost = env.units[0].Cost
 		first.idx = append(first.idx[:0], 0)
 		first.bits.Clear()
 		first.bits.Add(0)
@@ -288,7 +239,7 @@ func EnumerateRange(s *spec.Spec, opts Options, start int, fn func(Candidate) bo
 	// The empty allocation is scanned first (never possible for a
 	// problem graph with vertices, but counted for fidelity).
 	stats.Scanned++
-	if rootSupportable(nil) {
+	if sc.rootSupportable(nil) {
 		stats.Possible++
 		if stats.Possible > start && !fn(Candidate{Allocation: spec.Allocation{}, Cost: 0}) {
 			return stats
@@ -301,13 +252,13 @@ func EnumerateRange(s *spec.Spec, opts Options, start int, fn func(Candidate) bo
 		cur := heap.Pop(h).(*subset)
 		stats.Scanned++
 		if m := cur.idx[len(cur.idx)-1]; m+1 < n {
-			heap.Push(h, child(cur, false))
-			heap.Push(h, child(cur, true))
+			heap.Push(h, env.child(&pool, cur, false))
+			heap.Push(h, env.child(&pool, cur, true))
 		}
 		switch {
-		case !opts.IncludeUselessComm && uselessComm(cur):
+		case !opts.IncludeUselessComm && sc.uselessComm(cur):
 			stats.PrunedComm++
-		case !rootSupportable(cur.idx):
+		case !sc.rootSupportable(cur.idx):
 		default:
 			stats.Possible++
 			if stats.Possible <= start {
@@ -316,7 +267,7 @@ func EnumerateRange(s *spec.Spec, opts Options, start int, fn func(Candidate) bo
 			}
 			a := make(spec.Allocation, len(cur.idx))
 			for _, k := range cur.idx {
-				a[units[k].ID] = true
+				a[env.units[k].ID] = true
 			}
 			if !fn(Candidate{Allocation: a, Cost: cur.cost}) {
 				pool.Put(cur)
@@ -326,6 +277,108 @@ func EnumerateRange(s *spec.Spec, opts Options, start int, fn func(Candidate) bo
 		pool.Put(cur)
 	}
 	return stats
+}
+
+// scanEnv is the read-only state shared by every walker of a bitset
+// scan: the cost-ordered unit universe, each unit's leaf-resource set,
+// the bus-adjacency bitsets for the useless-bus rule, and the
+// Supporter. It is built once per enumeration and is safe for any
+// number of concurrent readers; all mutable scan state lives in
+// per-goroutine scanScratch values.
+type scanEnv struct {
+	units []Unit
+	n     int
+	sup   *Supporter
+	// unitRes[k]: leaf resources unit k provides. commAdjBits[k]: for a
+	// bus unit, the unit indices it touches (nil for functional units).
+	unitRes     []bitset.Set
+	commAdjBits []bitset.Set
+}
+
+func newScanEnv(s *spec.Spec) *scanEnv {
+	units := Units(s)
+	n := len(units)
+	env := &scanEnv{units: units, n: n, sup: NewSupporter(s)}
+	env.unitRes = make([]bitset.Set, n)
+	env.commAdjBits = make([]bitset.Set, n)
+	pos := make(map[hgraph.ID]int, n)
+	for k, u := range units {
+		pos[u.ID] = k
+	}
+	adj := commAdjacency(s, units)
+	for k, u := range units {
+		env.unitRes[k] = env.sup.provides[u.ID]
+		if u.Comm {
+			bs := bitset.New(n)
+			for other := range adj[u.ID] {
+				bs.Add(pos[other])
+			}
+			env.commAdjBits[k] = bs
+		}
+	}
+	return env
+}
+
+// scanScratch is the per-goroutine mutable side of the possibility
+// test, reused across candidates so no allocation happens per scanned
+// subset.
+type scanScratch struct {
+	env   *scanEnv
+	memo  []int8
+	avail bitset.Set
+}
+
+func (e *scanEnv) newScratch() *scanScratch {
+	return &scanScratch{
+		env:   e,
+		memo:  make([]int8, e.sup.Clusters.Len()),
+		avail: bitset.New(e.sup.Resources.Len()),
+	}
+}
+
+// rootSupportable is the possibility test (rule 4: root
+// supportability) for the subset with the given unit indices.
+func (sc *scanScratch) rootSupportable(idx []int) bool {
+	sc.avail.Clear()
+	for _, k := range idx {
+		sc.avail.UnionWith(sc.env.unitRes[k])
+	}
+	for i := range sc.memo {
+		sc.memo[i] = 0
+	}
+	return sc.env.sup.supportableFrom(sc.env.sup.root, sc.avail, sc.memo)
+}
+
+// uselessComm applies the useless-bus rule: true when the subset
+// contains a bus connecting fewer than two allocated units.
+func (sc *scanScratch) uselessComm(cur *subset) bool {
+	for _, k := range cur.idx {
+		if sc.env.units[k].Comm && sc.env.commAdjBits[k].IntersectionCount(cur.bits) < 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// child derives a heap node from cur: extend appends unit m+1, replace
+// swaps the last unit m for m+1 (each subset generated exactly once).
+// The node comes from pool, so walkers recycle nodes without sharing.
+func (e *scanEnv) child(pool *sync.Pool, cur *subset, replace bool) *subset {
+	m := cur.idx[len(cur.idx)-1]
+	c := pool.Get().(*subset)
+	c.idx = append(c.idx[:0], cur.idx...)
+	c.bits.Clear()
+	c.bits.UnionWith(cur.bits)
+	if replace {
+		c.idx[len(c.idx)-1] = m + 1
+		c.bits.Remove(m)
+		c.cost = cur.cost - e.units[m].Cost + e.units[m+1].Cost
+	} else {
+		c.idx = append(c.idx, m+1)
+		c.cost = cur.cost + e.units[m+1].Cost
+	}
+	c.bits.Add(m + 1)
+	return c
 }
 
 // All materializes every possible resource allocation (cost-ordered).

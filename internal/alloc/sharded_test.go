@@ -1,0 +1,256 @@
+package alloc
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+// collectSharded drains a sharded enumerator into a comparable list.
+func collectSharded(enum func(*spec.Spec, Options, int, int, func(Candidate) bool) Stats, s *spec.Spec, opts Options, producers, start int) ([]Candidate, Stats) {
+	var out []Candidate
+	stats := enum(s, opts, producers, start, func(c Candidate) bool {
+		out = append(out, Candidate{Allocation: c.Allocation.Clone(), Cost: c.Cost})
+		return true
+	})
+	return out, stats
+}
+
+// shardedSpecs is the property-test corpus: the paper models plus a
+// randomized family of small synthetic specs (different seeds shift
+// unit costs, adjacency, and mapping structure, so equal-cost ties and
+// pruned lanes all occur across the corpus).
+func shardedSpecs(t *testing.T) map[string]*spec.Spec {
+	t.Helper()
+	specs := map[string]*spec.Spec{
+		"fig2":   buildFig2(t),
+		"settop": models.SetTopBox(),
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		specs[fmt.Sprintf("synth%d", seed)] = models.Synthetic(models.SyntheticParams{
+			Seed: seed, Apps: 2, Depth: 1, Branch: 2, Vertices: 2,
+			Processors: 2, ASICs: 1 + int(seed%2), Designs: 2, Buses: 2 + int(seed%2),
+			TimedFraction: 0.3, AccelOnlyFraction: 0.3,
+		})
+	}
+	return specs
+}
+
+// TestShardedStreamIdentity is the tentpole's property test: for every
+// corpus spec, every producer count in {1,2,3,4}, and both sharded
+// enumerators, the merged stream is element-identical (allocations,
+// costs, order) to the single-producer stream, with matching semantic
+// stats.
+func TestShardedStreamIdentity(t *testing.T) {
+	for name, s := range shardedSpecs(t) {
+		for _, include := range []bool{false, true} {
+			opts := Options{IncludeUselessComm: include}
+			label := name
+			if include {
+				label += "+uselesscomm"
+			}
+			want, wantStats := collect(EnumerateRange, s, opts, 0)
+			for _, p := range []int{1, 2, 3, 4} {
+				bit, bitStats := collectSharded(EnumerateShardedRange, s, opts, p, 0)
+				sameCandidates(t, fmt.Sprintf("%s/bitset/p=%d", label, p), want, bit)
+				sym, symStats := collectSharded(EnumerateSymbolicShardedRange, s, opts, p, 0)
+				sameCandidates(t, fmt.Sprintf("%s/symbolic/p=%d", label, p), want, sym)
+				if bitStats.Possible != wantStats.Possible || symStats.Possible != wantStats.Possible {
+					t.Errorf("%s/p=%d: Possible = %d (bitset sharded) / %d (symbolic sharded), want %d",
+						label, p, bitStats.Possible, symStats.Possible, wantStats.Possible)
+				}
+				// A complete bitset-sharded scan pops exactly the subsets the
+				// direct scan pops, and prunes the same buses.
+				if bitStats.Scanned != wantStats.Scanned || bitStats.PrunedComm != wantStats.PrunedComm {
+					t.Errorf("%s/p=%d: Scanned/PrunedComm = %d/%d, want %d/%d",
+						label, p, bitStats.Scanned, bitStats.PrunedComm, wantStats.Scanned, wantStats.PrunedComm)
+				}
+				wantP := p
+				if n := len(Units(s)); wantP > n {
+					wantP = n
+				}
+				if bitStats.Producers != wantP || symStats.Producers != wantP {
+					t.Errorf("%s/p=%d: Producers gauge = %d/%d, want %d", label, p, bitStats.Producers, symStats.Producers, wantP)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRangeCursor checks the range contract under sharding:
+// starting a P-producer enumeration at cursor k yields exactly the
+// single-producer stream's suffix from k, for mid-stream and
+// past-the-end cursors.
+func TestShardedRangeCursor(t *testing.T) {
+	for _, name := range []string{"settop", "synth3"} {
+		s := shardedSpecs(t)[name]
+		full, _ := collect(EnumerateRange, s, Options{}, 0)
+		starts := []int{1, len(full) / 2, len(full) - 1, len(full), len(full) + 3}
+		for _, p := range []int{2, 3, 4} {
+			for _, start := range starts {
+				wantLen := len(full) - start
+				if wantLen < 0 {
+					wantLen = 0
+				}
+				for enumName, enum := range map[string]func(*spec.Spec, Options, int, int, func(Candidate) bool) Stats{
+					"bitset":   EnumerateShardedRange,
+					"symbolic": EnumerateSymbolicShardedRange,
+				} {
+					got, stats := collectSharded(enum, s, Options{}, p, start)
+					if len(got) != wantLen {
+						t.Fatalf("%s/%s p=%d start %d: got %d candidates, want %d", name, enumName, p, start, len(got), wantLen)
+					}
+					sameCandidates(t, fmt.Sprintf("%s/%s/p=%d/start=%d", name, enumName, p, start), full[len(full)-wantLen:], got)
+					if stats.Possible != len(full) {
+						t.Errorf("%s/%s p=%d start %d: Possible = %d, want %d", name, enumName, p, start, stats.Possible, len(full))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEarlyStop: a false callback return stops the merged
+// stream mid-flight without deadlocking the walkers, and the emitted
+// prefix is the single-producer prefix.
+func TestShardedEarlyStop(t *testing.T) {
+	s := models.SetTopBox()
+	full, _ := collect(EnumerateRange, s, Options{}, 0)
+	for _, p := range []int{1, 2, 4} {
+		for enumName, enum := range map[string]func(*spec.Spec, Options, int, int, func(Candidate) bool) Stats{
+			"bitset":   EnumerateShardedRange,
+			"symbolic": EnumerateSymbolicShardedRange,
+		} {
+			var got []Candidate
+			enum(s, Options{}, p, 0, func(c Candidate) bool {
+				got = append(got, Candidate{Allocation: c.Allocation.Clone(), Cost: c.Cost})
+				return len(got) < 7
+			})
+			if len(got) != 7 {
+				t.Fatalf("%s p=%d: early stop emitted %d candidates, want 7", enumName, p, len(got))
+			}
+			sameCandidates(t, fmt.Sprintf("early/%s/p=%d", enumName, p), full[:7], got)
+		}
+	}
+}
+
+// TestShardedMaxScan: MaxScan splits into per-shard effort budgets.
+// The total never exceeds the budget, the emission is deterministic
+// for a fixed producer count, every emitted candidate comes from the
+// single-producer stream in its global order (a subsequence — lanes
+// truncate independently, so unlike the single producer the bounded
+// emission need not be a prefix), and cost order is preserved.
+func TestShardedMaxScan(t *testing.T) {
+	s := models.SetTopBox()
+	full, fullStats := collect(EnumerateRange, s, Options{}, 0)
+	budget := fullStats.Scanned / 3
+	for _, p := range []int{2, 4} {
+		for enumName, enum := range map[string]func(*spec.Spec, Options, int, int, func(Candidate) bool) Stats{
+			"bitset":   EnumerateShardedRange,
+			"symbolic": EnumerateSymbolicShardedRange,
+		} {
+			got, stats := collectSharded(enum, s, Options{MaxScan: budget}, p, 0)
+			if stats.Scanned > budget {
+				t.Errorf("%s p=%d: Scanned = %d, exceeds MaxScan %d", enumName, p, stats.Scanned, budget)
+			}
+			again, _ := collectSharded(enum, s, Options{MaxScan: budget}, p, 0)
+			sameCandidates(t, fmt.Sprintf("maxscan-repeat/%s/p=%d", enumName, p), got, again)
+			// Subsequence-of-global check, and nondecreasing cost.
+			j := 0
+			for i, c := range got {
+				if i > 0 && c.Cost < got[i-1].Cost {
+					t.Fatalf("%s p=%d: cost order violated at %d", enumName, p, i)
+				}
+				for j < len(full) && !(full[j].Cost == c.Cost && full[j].Allocation.Equal(c.Allocation)) {
+					j++
+				}
+				if j == len(full) {
+					t.Fatalf("%s p=%d: candidate %d not a subsequence of the global stream", enumName, p, i)
+				}
+				j++
+			}
+		}
+	}
+}
+
+// TestShardBudgets pins the budget split: the empty subset is funded
+// centrally and the remainder spreads evenly, low shards first.
+func TestShardBudgets(t *testing.T) {
+	cases := []struct {
+		maxScan, p int
+		want       []int
+	}{
+		{0, 3, []int{-1, -1, -1}},
+		{-2, 2, []int{-1, -1}},
+		{1, 2, []int{0, 0}},
+		{2, 2, []int{1, 0}},
+		{10, 3, []int{3, 3, 3}},
+		{12, 4, []int{3, 3, 3, 2}},
+	}
+	for _, c := range cases {
+		got := shardBudgets(c.maxScan, c.p)
+		if len(got) != len(c.want) {
+			t.Fatalf("shardBudgets(%d,%d) = %v, want %v", c.maxScan, c.p, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("shardBudgets(%d,%d) = %v, want %v", c.maxScan, c.p, got, c.want)
+			}
+		}
+	}
+}
+
+// TestShardedProducerClamp: producer counts beyond the unit count (or
+// below 1) clamp rather than misbehave.
+func TestShardedProducerClamp(t *testing.T) {
+	s := buildFig2(t)
+	n := len(Units(s))
+	want, _ := collect(EnumerateRange, s, Options{}, 0)
+	for _, p := range []int{0, -3, n + 5, 64} {
+		got, stats := collectSharded(EnumerateShardedRange, s, Options{}, p, 0)
+		sameCandidates(t, fmt.Sprintf("clamp/p=%d", p), want, got)
+		if stats.Producers < 1 || stats.Producers > n {
+			t.Errorf("p=%d: Producers gauge = %d, want within [1,%d]", p, stats.Producers, n)
+		}
+	}
+}
+
+// TestPropShardedMatchesDirect fuzzes the merge across randomized
+// synthetic specifications: for a random seed, shard count, and
+// mid-stream start cursor, both sharded enumerators emit exactly the
+// direct scan's suffix. This complements the fixed corpus above with
+// generator-driven structure (random costs force equal-cost ties;
+// random adjacency forces pruned and empty lanes).
+func TestPropShardedMatchesDirect(t *testing.T) {
+	prop := func(seed int64, pRaw uint8, startRaw uint16) bool {
+		s := models.Synthetic(models.SyntheticParams{
+			Seed: seed % 50, Apps: 2, Depth: 1, Branch: 2, Vertices: 2,
+			Processors: 2, ASICs: 1 + int(seed%3), Designs: 2, Buses: 2 + int(seed%2),
+			TimedFraction: 0.3, AccelOnlyFraction: 0.3,
+		})
+		p := 2 + int(pRaw%3) // 2..4
+		full, _ := collect(EnumerateRange, s, Options{}, 0)
+		start := int(startRaw) % (len(full) + 2)
+		want := full[min(start, len(full)):]
+		for _, enum := range []func(*spec.Spec, Options, int, int, func(Candidate) bool) Stats{
+			EnumerateShardedRange, EnumerateSymbolicShardedRange,
+		} {
+			got, _ := collectSharded(enum, s, Options{}, p, start)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i].Cost != want[i].Cost || !got[i].Allocation.Equal(want[i].Allocation) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/big"
+	"sync"
 )
 
 // CostEnum enumerates the satisfying assignments of a boolean function
@@ -43,16 +44,31 @@ type CostEnum struct {
 	// not subsets scanned.
 	MaxVisits int
 
-	m        *Manager
-	f        *Node
-	costs    []float64
-	h        enumHeap
-	started  bool
-	visited  int
-	emitted  int
-	oneMemo  map[int]bool
-	zeroMemo map[int]bool
+	m       *Manager
+	f       *Node
+	costs   []float64
+	h       enumHeap
+	started bool
+	visited int
+	emitted int
+	// The memo tables are dense slices indexed by BDD node id (0
+	// unknown, 1 true, 2 false): the walk calls only read-only Manager
+	// operations, so the id space is frozen at construction time and a
+	// slice replaces the former map — the walk's dominant allocation
+	// source along with the heap nodes, which a sync.Pool recycles.
+	oneMemo  []int8
+	zeroMemo []int8
+	pool     sync.Pool
 	buf      []int
+
+	// Shard state, set only by NewCostEnumShard: the lanes (root
+	// variables) this enumeration walks, the per-lane count of live
+	// heap nodes, and the lanes fully walked since the last
+	// TakeDrained call. lanePos maps a root variable to its slot.
+	lanes   []int
+	lanePos []int
+	pending []int
+	drained []int
 }
 
 // enumNode is one live subset-tree node: the unit indices (ascending),
@@ -101,6 +117,76 @@ func (h *enumHeap) Pop() any {
 // assignments of f. costs must have one non-negative entry per manager
 // variable, nondecreasing in variable order (see the type comment).
 func (m *Manager) NewCostEnum(f *Node, costs []float64) *CostEnum {
+	m.checkCosts(costs)
+	return &CostEnum{
+		m:        m,
+		f:        f,
+		costs:    costs,
+		oneMemo:  make([]int8, m.nextID),
+		zeroMemo: make([]int8, m.nextID),
+		pool:     sync.Pool{New: func() any { return new(enumNode) }},
+	}
+}
+
+// NewCostEnumShard prepares a cost-ordered enumeration restricted to
+// the subset-tree lanes rooted at the given variables: lane k holds
+// exactly the satisfying assignments whose minimum true variable is k.
+// roots must be strictly ascending, in range, and nonempty. The walk
+// is identical to NewCostEnum's restricted to those lanes — same
+// comparator, same pruning, same per-lane emission order — so P
+// shard enumerations over a partition of the roots jointly cover the
+// nonempty satisfying assignments exactly once. MaxVisits bounds this
+// shard's own visits. The enumeration only reads the Manager, so any
+// number of shards may walk one shared BDD concurrently.
+func (m *Manager) NewCostEnumShard(f *Node, costs []float64, roots []int) *CostEnum {
+	m.checkCosts(costs)
+	if len(roots) == 0 {
+		panic("boolfunc: shard enumeration needs at least one lane root")
+	}
+	e := &CostEnum{
+		m:        m,
+		f:        f,
+		costs:    costs,
+		oneMemo:  make([]int8, m.nextID),
+		zeroMemo: make([]int8, m.nextID),
+		pool:     sync.Pool{New: func() any { return new(enumNode) }},
+		lanes:    roots,
+		lanePos:  make([]int, m.numVars),
+		pending:  make([]int, len(roots)),
+	}
+	for i := range e.lanePos {
+		e.lanePos[i] = -1
+	}
+	// The lane root {k} is the replace-chain descendant of the spine:
+	// its restriction sets every variable below k false, which is a
+	// pure Low-edge descent — no node construction, Manager untouched.
+	pre := f
+	prev := -1
+	for i, k := range roots {
+		if k < 0 || k >= m.numVars || k <= prev {
+			panic("boolfunc: shard lane roots must be strictly ascending and in range")
+		}
+		for !pre.IsTerminal() && pre.Var < k {
+			pre = pre.Low
+		}
+		prev = k
+		e.lanePos[k] = i
+		c := e.pool.Get().(*enumNode)
+		c.cost = costs[k]
+		c.idx = append(c.idx[:0], k)
+		c.pre = pre
+		heap.Push(&e.h, c)
+		e.pending[i] = 1
+	}
+	// Roots are pushed unconditionally (an unsatisfiable lane costs one
+	// visit and drains immediately); the spine gating that decides when
+	// a lane's output may be consumed lives in the caller's merge.
+	e.started = true
+	return e
+}
+
+// checkCosts validates a cost vector for cost-ordered enumeration.
+func (m *Manager) checkCosts(costs []float64) {
 	if len(costs) != m.numVars {
 		panic("boolfunc: cost vector length mismatch")
 	}
@@ -111,13 +197,6 @@ func (m *Manager) NewCostEnum(f *Node, costs []float64) *CostEnum {
 		if i > 0 && c < costs[i-1] {
 			panic(fmt.Sprintf("boolfunc: costs must be nondecreasing in variable order (cost[%d]=%v < cost[%d]=%v)", i, c, i-1, costs[i-1]))
 		}
-	}
-	return &CostEnum{
-		m:        m,
-		f:        f,
-		costs:    costs,
-		oneMemo:  map[int]bool{},
-		zeroMemo: map[int]bool{},
 	}
 }
 
@@ -133,7 +212,11 @@ func (e *CostEnum) Next() (trueVars []int, cost float64, ok bool) {
 		// visited first, outside the heap.
 		e.visited++
 		if e.m.numVars > 0 && e.subtreeSat(e.f, 0) {
-			heap.Push(&e.h, &enumNode{cost: e.costs[0], idx: []int{0}, pre: e.f})
+			c := e.pool.Get().(*enumNode)
+			c.cost = e.costs[0]
+			c.idx = append(c.idx[:0], 0)
+			c.pre = e.f
+			heap.Push(&e.h, c)
 		}
 		if e.zeroSat(e.f) {
 			e.emitted++
@@ -148,6 +231,7 @@ func (e *CostEnum) Next() (trueVars []int, cost float64, ok bool) {
 		e.visited++
 		last := cur.idx[len(cur.idx)-1]
 		n0, n1 := e.m.cofactors(cur.pre, last)
+		pushed := 0
 		if last+1 < e.m.numVars {
 			// The children's subtrees share the child's bits below its
 			// last index and contain exactly the subsets whose first
@@ -155,24 +239,54 @@ func (e *CostEnum) Next() (trueVars []int, cost float64, ok bool) {
 			// satisfying assignment with at least one true variable
 			// from last+1 on extends the restriction.
 			if e.subtreeSat(n1, last+1) {
-				c := &enumNode{cost: cur.cost + e.costs[last+1], pre: n1}
-				c.idx = append(append(c.idx, cur.idx...), last+1)
+				c := e.pool.Get().(*enumNode)
+				c.cost = cur.cost + e.costs[last+1]
+				c.pre = n1
+				c.idx = append(append(c.idx[:0], cur.idx...), last+1)
 				heap.Push(&e.h, c)
+				pushed++
 			}
-			if e.subtreeSat(n0, last+1) {
-				c := &enumNode{cost: cur.cost - e.costs[last] + e.costs[last+1], pre: n0}
-				c.idx = append(c.idx, cur.idx...)
+			// A shard walk never replaces a lane root's only element:
+			// that subset is another lane's root.
+			if (e.lanes == nil || len(cur.idx) > 1) && e.subtreeSat(n0, last+1) {
+				c := e.pool.Get().(*enumNode)
+				c.cost = cur.cost - e.costs[last] + e.costs[last+1]
+				c.pre = n0
+				c.idx = append(c.idx[:0], cur.idx...)
 				c.idx[len(c.idx)-1] = last + 1
 				heap.Push(&e.h, c)
+				pushed++
 			}
 		}
-		if e.zeroSat(n1) {
+		if e.lanes != nil {
+			slot := e.lanePos[cur.idx[0]]
+			e.pending[slot] += pushed - 1
+			if e.pending[slot] == 0 {
+				e.drained = append(e.drained, e.lanes[slot])
+			}
+		}
+		sat := e.zeroSat(n1)
+		if sat {
 			e.emitted++
 			e.buf = append(e.buf[:0], cur.idx...)
-			return e.buf, cur.cost, true
+			cost = cur.cost
+		}
+		e.pool.Put(cur)
+		if sat {
+			return e.buf, cost, true
 		}
 	}
 	return nil, 0, false
+}
+
+// TakeDrained returns the lane roots whose subtrees have been fully
+// walked since the last call, in drain order, and resets the list.
+// Only meaningful for shard enumerations; a lane may drain during a
+// Next call that emits for a different lane.
+func (e *CostEnum) TakeDrained() []int {
+	d := e.drained
+	e.drained = nil
+	return d
 }
 
 // Visited counts search nodes popped (plus the initial all-false
@@ -203,12 +317,21 @@ func (e *CostEnum) subtreeSat(n *Node, level int) bool {
 		return true
 	}
 	// n.Var == level, so the memo key needs no level component.
-	if v, ok := e.oneMemo[n.id]; ok {
-		return v
+	if v := e.oneMemo[n.id]; v != 0 {
+		return v == 1
 	}
 	r := n.High != e.m.zero || e.subtreeSat(n.Low, level+1)
-	e.oneMemo[n.id] = r
+	e.oneMemo[n.id] = memoBool(r)
 	return r
+}
+
+// memoBool encodes a cached boolean for the dense memo slices: 0 is
+// "unknown", so true/false map to 1/2.
+func memoBool(v bool) int8 {
+	if v {
+		return 1
+	}
+	return 2
 }
 
 // zeroSat reports whether the all-false completion of the restriction n
@@ -218,11 +341,11 @@ func (e *CostEnum) zeroSat(n *Node) bool {
 	if n.IsTerminal() {
 		return n == e.m.one
 	}
-	if v, ok := e.zeroMemo[n.id]; ok {
-		return v
+	if v := e.zeroMemo[n.id]; v != 0 {
+		return v == 1
 	}
 	r := e.zeroSat(n.Low)
-	e.zeroMemo[n.id] = r
+	e.zeroMemo[n.id] = memoBool(r)
 	return r
 }
 

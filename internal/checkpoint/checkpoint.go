@@ -99,6 +99,13 @@ var digestExcluded = map[string]bool{
 	// test). Excluding it lets a checkpoint written under one enumerator
 	// resume under the other.
 	"Enumerator": true,
+	// Producers shards candidate production across goroutines and
+	// merges the shards back into the bit-identical single-producer
+	// stream (pinned by the producers dimension of the differential
+	// grid test), so like Enumerator it never changes what a scan
+	// returns. Excluding it lets a checkpoint written under one
+	// producer count resume under any other.
+	"Producers": true,
 	// Fault is the fault-injection hook used by robustness tests.
 	"Fault": true,
 	// Progress and ProgressEvery only control reporting cadence.

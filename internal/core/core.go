@@ -122,6 +122,22 @@ type Options struct {
 	// checkpoint option digests: a snapshot taken under one enumerator
 	// resumes under any other.
 	Enumerator Enumerator
+	// Producers sets the candidate-producer goroutine count: the
+	// enumeration is sharded across that many walkers and re-serialized
+	// by a deterministic k-way merge into the bit-identical
+	// single-producer stream (see internal/alloc's sharded enumerators).
+	// 0 = auto: the direct in-process scan for sequential exploration,
+	// min(workers, 4) sharded producers for parallel exploration (the
+	// producer side rarely profits beyond that, and never beyond the
+	// unit count, to which the value is clamped). An explicit 1 runs
+	// the full shard/merge machinery with one walker — the merged
+	// stream is the same, and keeping that path's overhead within noise
+	// of the direct scan is benchmarked and gated. Because the stream
+	// is bit-identical for every value, Producers is runtime
+	// configuration like Batch and Enumerator: excluded from checkpoint
+	// option digests, so a snapshot taken under one producer count
+	// resumes under any other.
+	Producers int
 
 	// The fields below configure the anytime runtime, not the
 	// exploration semantics: they never change which front a completed
@@ -216,6 +232,39 @@ func (o Options) enumeratorFor(n int) Enumerator {
 	default:
 		panic(fmt.Sprintf("core: unknown enumerator %q", o.Enumerator))
 	}
+}
+
+// autoMaxProducers caps the auto-resolved producer count for parallel
+// exploration. Candidate production is a small fraction of the total
+// work (ROADMAP's profiling put it near 18%), so a handful of walkers
+// removes the serial spine; beyond that the merge's coordination buys
+// nothing.
+const autoMaxProducers = 4
+
+// producersFor resolves Options.Producers for an explorer with the
+// given worker count over a specification with n allocatable units.
+// It returns 0 for the direct single-goroutine scan (the auto default
+// for sequential exploration) and otherwise the sharded producer
+// count, clamped to [1, n]. An explicit Producers value — including 1
+// — always selects the sharded machinery.
+func (o Options) producersFor(workers, n int) int {
+	p := o.Producers
+	if p <= 0 {
+		if workers <= 1 {
+			return 0
+		}
+		p = workers
+		if p > autoMaxProducers {
+			p = autoMaxProducers
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	if p > n {
+		p = n
+	}
+	return p
 }
 
 // Failpoint sites of the exploration engine (see Options.Fault). Both
@@ -376,6 +425,16 @@ type PipelineStats struct {
 	// candidates; BusyNanos / (elapsed × Workers) approximates pool
 	// utilization.
 	BusyNanos int64 `json:"busyNanos,omitempty"`
+	// Producers is the resolved candidate-producer goroutine count when
+	// the run used the sharded enumeration (0 for the direct
+	// single-goroutine scan). ProducerBusyNanos sums the walkers'
+	// tree-walking time (wall time minus blocked-send time), and
+	// MergeStalls counts merge reads that found the needed producer
+	// stream empty — together they tell whether candidate production or
+	// evaluation was the bottleneck.
+	Producers         int   `json:"producers,omitempty"`
+	ProducerBusyNanos int64 `json:"producerBusyNanos,omitempty"`
+	MergeStalls       int   `json:"mergeStalls,omitempty"`
 }
 
 // CacheStats counts hits and misses of the candidate-evaluation caches

@@ -44,7 +44,8 @@ func ExploreContext(ctx context.Context, s *spec.Spec, opts Options) *Result {
 
 	ev := newEvaluator(s, opts)
 	_, _, pc, _ := s.Problem.ElementCount()
-	aStats := enumerateRange(s, opts, startCursor, func(c alloc.Candidate) bool {
+	producers := opts.producersFor(1, len(alloc.Units(s)))
+	aStats := enumerateRange(s, opts, producers, startCursor, func(c alloc.Candidate) bool {
 		res.Stats.PossibleAllocations++
 		if ctx.Err() != nil {
 			res.Interrupted, res.Reason = true, reasonFor(ctx)
@@ -143,20 +144,29 @@ func seedResume(res *Result, front *pareto.Front, r *Resume) (fcur float64, star
 }
 
 // enumerateRange drives the cost-ordered candidate stream through the
-// producer Options.Enumerator selects. Both producers emit the
-// bit-identical stream with the same range addressing, so everything
-// downstream — fronts, cursors, resume, checkpoints — is oblivious to
-// the choice; only the Scanned effort counter (and what MaxScan
-// bounds) is producer-specific.
-func enumerateRange(s *spec.Spec, opts Options, start int, fn func(alloc.Candidate) bool) alloc.Stats {
+// producer Options.Enumerator selects, sharded across producers
+// walker goroutines when producers >= 1 (as resolved by producersFor;
+// 0 selects the direct in-process scan). Every producer choice and
+// count emits the bit-identical stream with the same range addressing,
+// so everything downstream — fronts, cursors, resume, checkpoints —
+// is oblivious to the configuration; only the Scanned effort counter
+// (and what MaxScan bounds) is producer-specific.
+func enumerateRange(s *spec.Spec, opts Options, producers, start int, fn func(alloc.Candidate) bool) alloc.Stats {
 	ao := alloc.Options{
 		IncludeUselessComm: opts.IncludeUselessComm,
 		MaxScan:            opts.MaxScan,
 	}
-	if opts.enumeratorFor(len(alloc.Units(s))) == EnumeratorSymbolic {
+	symbolic := opts.enumeratorFor(len(alloc.Units(s))) == EnumeratorSymbolic
+	switch {
+	case producers >= 1 && symbolic:
+		return alloc.EnumerateSymbolicShardedRange(s, ao, producers, start, fn)
+	case producers >= 1:
+		return alloc.EnumerateShardedRange(s, ao, producers, start, fn)
+	case symbolic:
 		return alloc.EnumerateSymbolicRange(s, ao, start, fn)
+	default:
+		return alloc.EnumerateRange(s, ao, start, fn)
 	}
-	return alloc.EnumerateRange(s, ao, start, fn)
 }
 
 // finishResult folds the enumeration statistics into the result and
@@ -165,6 +175,9 @@ func finishResult(res *Result, aStats alloc.Stats, pc int, opts Options) {
 	res.Stats.Scanned = aStats.Scanned
 	res.Stats.AllocSpace = aStats.SearchSpace
 	res.Stats.DesignSpace = aStats.SearchSpace * alloc.SearchSpace(pc)
+	res.Stats.Pipeline.Producers = aStats.Producers
+	res.Stats.Pipeline.ProducerBusyNanos = aStats.ProducerBusyNanos
+	res.Stats.Pipeline.MergeStalls = aStats.MergeStalls
 	if res.Reason == ReasonCompleted && opts.MaxScan > 0 && aStats.Scanned >= opts.MaxScan {
 		res.Reason = ReasonScanBound
 	}

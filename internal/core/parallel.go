@@ -149,6 +149,18 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 			if l := int64(len(p.jobs)); l > p.highWater.Load() {
 				p.highWater.Store(l)
 			}
+			// Yield once, after the first dispatch, so the scan's first
+			// range job starts before the producer saturates the queue.
+			// With sharded producers the stream arrives pre-buffered and
+			// sends become back-to-back; on a single-P runtime the
+			// scheduler's LIFO wakeup would then run the *latest*-readied
+			// worker first, letting a late batch evaluate (and e.g. trip
+			// a cancellation) before the first batch is even started —
+			// collapsing the anytime cursor to 0. Yielding only here (not
+			// per send) keeps the queue free to fill behind busy workers.
+			if emitted == 1 {
+				runtime.Gosched()
+			}
 			return true
 		case <-p.done:
 			// The commit stage ended the scan (cancellation committed
@@ -157,7 +169,8 @@ func ExploreParallelContext(ctx context.Context, s *spec.Spec, opts Options, wor
 		}
 	}
 	_, _, pc, _ := s.Problem.ElementCount()
-	aStats := enumerateRange(s, opts, startCursor, func(cd alloc.Candidate) bool {
+	producers := opts.producersFor(workers, len(alloc.Units(s)))
+	aStats := enumerateRange(s, opts, producers, startCursor, func(cd alloc.Candidate) bool {
 		p.possible.Add(1)
 		if ctx.Err() != nil {
 			producerCancelled = true

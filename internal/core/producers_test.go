@@ -1,0 +1,144 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/spec"
+)
+
+// TestProducersResolution pins the dispatch rule for Options.Producers:
+// auto (0) keeps the sequential explorer on the direct in-process scan
+// and gives the parallel explorer min(workers, 4) shards; an explicit
+// count — including 1 — always selects the sharded machinery, clamped
+// to the unit count; a unitless specification never shards.
+func TestProducersResolution(t *testing.T) {
+	cases := []struct {
+		producers, workers, n, want int
+	}{
+		{0, 1, 14, 0},                                     // auto + sequential: direct scan
+		{0, 2, 14, 2},                                     // auto + parallel: one shard per worker...
+		{0, 8, 14, 4},                                     // ...capped at autoMaxProducers
+		{0, 8, 3, 3},                                      // ...and at the unit count
+		{1, 1, 14, 1},                                     // explicit 1 is still the sharded machinery
+		{3, 1, 14, 3},                                     // explicit count, sequential explorer
+		{64, 1, 14, 14} /* clamped to n */, {2, 8, 14, 2}, // explicit wins over workers
+		{0, 8, 0, 0}, {5, 1, 0, 0}, // no units: nothing to shard
+	}
+	for _, tc := range cases {
+		got := (Options{Producers: tc.producers}).producersFor(tc.workers, tc.n)
+		if got != tc.want {
+			t.Errorf("producersFor(producers=%d, workers=%d, n=%d) = %d, want %d",
+				tc.producers, tc.workers, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestProducersDifferentialGrid (acceptance): across specifications ×
+// enumerators × producer counts × worker counts, sharded candidate
+// production returns bit-identical fronts, cursors, termination
+// reasons and Semantic() stats to the single-producer direct scan. The
+// k-way merge reassembles the exact global stream (see internal/alloc),
+// so everything downstream is oblivious to the shard count. CI runs
+// this under -race.
+//
+// MaxScan is deliberately absent: it is a producer-specific effort
+// budget (split across shards), so a budgeted run legitimately stops
+// at different stream positions under different producer counts (the
+// same caveat as the enumerator grid).
+func TestProducersDifferentialGrid(t *testing.T) {
+	synth := func(seed int64) *spec.Spec {
+		return models.Synthetic(models.SyntheticParams{
+			Seed: seed, Apps: 2, Depth: 1, Branch: 2, Vertices: 2,
+			Processors: 2, ASICs: 2, Designs: 2, Buses: 3,
+			TimedFraction: 0.3, AccelOnlyFraction: 0.3,
+		})
+	}
+	specs := []struct {
+		name string
+		s    *spec.Spec
+		opts Options
+		// stopEarly marks runs that end before the scan is exhausted;
+		// the parallel producer legitimately enumerates ahead of the
+		// stop decision, so PossibleAllocations may overshoot there.
+		stopEarly bool
+	}{
+		{"settop", models.SetTopBox(), Options{}, false},
+		{"decoder", models.Decoder(), Options{}, false},
+		{"synth3", synth(3), Options{}, false},
+		{"synth7-nobound", synth(7), Options{DisableFlexBound: true}, false},
+		{"settop-stopmax", models.SetTopBox(), Options{StopAtMaxFlex: true}, true},
+	}
+	for _, tc := range specs {
+		t.Run(tc.name, func(t *testing.T) {
+			base := Explore(tc.s, tc.opts)
+			for _, enum := range []Enumerator{EnumeratorBitset, EnumeratorSymbolic} {
+				for _, p := range []int{1, 2, 4} {
+					for _, w := range []int{1, 4} {
+						opts := tc.opts
+						opts.Enumerator = enum
+						opts.Producers = p
+						var r *Result
+						if w == 1 {
+							r = Explore(tc.s, opts)
+						} else {
+							r = ExploreParallel(tc.s, opts, w, 2*w)
+						}
+						label := string(enum)
+						sameFronts(t, base, r)
+						if r.Cursor != base.Cursor {
+							t.Errorf("%s p=%d w=%d: cursor %d != baseline %d", label, p, w, r.Cursor, base.Cursor)
+						}
+						if r.Reason != base.Reason {
+							t.Errorf("%s p=%d w=%d: reason %q != baseline %q", label, p, w, r.Reason, base.Reason)
+						}
+						if got := r.Stats.Pipeline.Producers; got != p {
+							t.Errorf("%s p=%d w=%d: Pipeline.Producers = %d, want %d", label, p, w, got, p)
+						}
+						rs, bs := r.Stats.Semantic(), base.Stats.Semantic()
+						if tc.stopEarly && w > 1 {
+							if rs.PossibleAllocations < bs.PossibleAllocations {
+								t.Errorf("%s p=%d w=%d: enumerated less than the sequential baseline", label, p, w)
+							}
+							rs.PossibleAllocations, bs.PossibleAllocations = 0, 0
+						}
+						if !reflect.DeepEqual(rs, bs) {
+							t.Errorf("%s p=%d w=%d: semantic stats diverge:\nsharded:  %+v\nbaseline: %+v",
+								label, p, w, rs, bs)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrossProducerResume: a scan interrupted under one producer count
+// resumes under any other — including the direct scan and the parallel
+// explorer — and converges to the uninterrupted front with identical
+// semantic counters. This is what justifies excluding Producers from
+// the checkpoint options digest: the cursor addresses the same
+// bit-identical stream whatever the shard count.
+func TestCrossProducerResume(t *testing.T) {
+	s := models.SetTopBox()
+	full := Explore(s, Options{})
+
+	k := full.Stats.PossibleAllocations / 2
+	part := cancelAt(s, Options{Producers: 1}, k)
+	if !part.Interrupted || part.Cursor != k {
+		t.Fatalf("interrupt failed: interrupted=%v cursor=%d", part.Interrupted, part.Cursor)
+	}
+
+	for _, p := range []int{0, 3} {
+		opts := Options{Producers: p, Resume: &Resume{Cursor: part.Cursor, Front: part.Front, Stats: part.Stats}}
+		if r := Explore(s, opts); !frontsEqual(r.Front, full.Front) {
+			t.Errorf("sequential resume under producers=%d diverges from the full run", p)
+		} else if !reflect.DeepEqual(r.Stats.Semantic(), full.Stats.Semantic()) {
+			t.Errorf("sequential resume under producers=%d: semantic stats diverge", p)
+		}
+		if r := ExploreParallel(s, opts, 4, 8); !frontsEqual(r.Front, full.Front) {
+			t.Errorf("parallel resume under producers=%d diverges from the full run", p)
+		}
+	}
+}

@@ -60,6 +60,10 @@ type Request struct {
 	Workers int `json:"workers,omitempty"`
 	// Batch sets the parallel explorer's range-job size (0 = adaptive).
 	Batch int `json:"batch,omitempty"`
+	// Producers shards candidate production across goroutines, merged
+	// back into the bit-identical cost-ordered stream (0 = auto: direct
+	// scan for sequential jobs, min(workers, 4) for parallel ones).
+	Producers int `json:"producers,omitempty"`
 	// DeadlineMs is the job's wall-clock budget in milliseconds,
 	// counted from admission and spanning suspensions; on expiry the
 	// job completes with its prefix-exact partial front. 0 selects the
@@ -195,6 +199,9 @@ func (s *Server) jobFromRequest(req *Request, sp *spec.Spec) (*job, *apiError) {
 	if req.Batch < 0 {
 		return nil, errBudget(`"batch" must be >= 0 (0 selects adaptive sizing)`)
 	}
+	if req.Producers < 0 {
+		return nil, errBudget(`"producers" must be >= 0 (0 selects the automatic producer count)`)
+	}
 	if req.MaxScan < 0 || req.MaxECS < 0 || req.MaxBindNodes < 0 {
 		return nil, errBudget(`"maxScan", "maxEcs" and "maxBindNodes" must be >= 0`)
 	}
@@ -253,6 +260,7 @@ func (s *Server) jobFromRequest(req *Request, sp *spec.Spec) (*job, *apiError) {
 			MaxECS:             req.MaxECS,
 			MaxBindNodes:       req.MaxBindNodes,
 			Batch:              req.Batch,
+			Producers:          req.Producers,
 			Enumerator:         core.Enumerator(req.Enumerator),
 		},
 	}

@@ -244,6 +244,28 @@ func TestSubmitSymbolicEnumerator(t *testing.T) {
 	}
 }
 
+// TestSubmitShardedProducers: a job may shard candidate production;
+// the served result matches the single-producer baseline (the merge is
+// bit-identical) and the result's pipeline stats report the shard
+// count actually used.
+func TestSubmitShardedProducers(t *testing.T) {
+	_, ts := newTestServer(t, Config{Lint: true})
+	id := submit(t, ts, `{"model": "settop", "workers": 1, "producers": 2}`)
+	got := fetchResult(t, ts, id)
+	requireSameFront(t, got, core.Explore(models.SetTopBox(), core.Options{}))
+	if got["reason"] != "completed" {
+		t.Errorf("reason = %v, want completed", got["reason"])
+	}
+	stats, _ := got["stats"].(map[string]any)
+	pipe, _ := stats["pipeline"].(map[string]any)
+	if pipe == nil {
+		t.Fatalf("result stats carry no pipeline block: %v", stats)
+	}
+	if p, _ := pipe["producers"].(float64); p != 2 {
+		t.Errorf("pipeline.producers = %v, want 2", pipe["producers"])
+	}
+}
+
 // TestLintAdmission: a structurally valid but defective specification
 // (SL001 corpus: an unreachable leaf) is rejected at the door with 422
 // and the full diagnostic report.
@@ -305,6 +327,7 @@ func TestAdmissionRejections(t *testing.T) {
 		{"deadline above cap", `{"model": "settop", "deadlineMs": 6000000}`, http.StatusBadRequest, CodeBadBudget},
 		{"negative cadence", `{"model": "settop", "checkpointEvery": -2}`, http.StatusBadRequest, CodeBadBudget},
 		{"negative batch", `{"model": "settop", "batch": -1}`, http.StatusBadRequest, CodeBadBudget},
+		{"negative producers", `{"model": "settop", "producers": -2}`, http.StatusBadRequest, CodeBadBudget},
 		{"unknown timing", `{"model": "settop", "timing": "edf"}`, http.StatusBadRequest, CodeBadBudget},
 		{"unknown enumerator", `{"model": "settop", "enumerator": "bdd"}`, http.StatusBadRequest, CodeBadBudget},
 	}

@@ -8,15 +8,38 @@
 # spec) — and aggregate the numbers (ns/op, B/op, allocs/op, cache hit
 # rates, binding-run counts, pipeline gauges) into BENCH_explore.json.
 #
-# Usage: scripts/bench.sh [count]    # default 5 repetitions
+# Usage: scripts/bench.sh [count] [-force]   # default 5 repetitions
+#
+# -force: overwrite BENCH_explore.json even when the committed baseline
+# was produced on a machine with more CPUs than this one. Without it,
+# the script refuses the overwrite: re-baselining the parallel-scaling
+# and producer-sharding numbers on a smaller machine silently lowers
+# the bar the committed file is supposed to hold.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-count="${1:-5}"
+count=5
+force=0
+for arg in "$@"; do
+  case "$arg" in
+    -force|--force) force=1 ;;
+    *) count="$arg" ;;
+  esac
+done
 # Record the machine's CPU count: benchdiff refuses to gate the
 # workers=8 scaling ratio when either side ran on fewer than 4 CPUs
 # (the ratio is meaningless there).
 ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+
+if [ "$force" -eq 0 ] && [ -f BENCH_explore.json ]; then
+  committed_ncpu="$(sed -n 's/.*"num_cpu": *\([0-9]*\).*/\1/p' BENCH_explore.json | head -n1)"
+  if [ -n "$committed_ncpu" ] && [ "$ncpu" -gt 0 ] && [ "$committed_ncpu" -gt "$ncpu" ]; then
+    echo "bench.sh: committed BENCH_explore.json was measured on $committed_ncpu CPUs;" >&2
+    echo "          this machine has $ncpu. Refusing to overwrite the baseline with" >&2
+    echo "          weaker-machine numbers — rerun with -force to do it anyway." >&2
+    exit 1
+  fi
+fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -52,6 +75,21 @@ END {
             speedup[name] = (sum[kb] / cnt[kb]) / (sum[k] / cnt[k])
         }
     }
+    # Derive the producer-sharding overhead ratio: each producers=N
+    # variant runs the exact workload of the cached variant of the same
+    # family, so ns/op(producers=N) / ns/op(cached) is the sharding
+    # machinery s own cost, independent of the host. benchdiff gates
+    # overhead_vs_direct for producers=1 (merge tax with no parallelism
+    # to pay for it).
+    for (b = 1; b <= nb; b++) {
+        name = order[b]
+        if (name !~ /\/producers=[0-9]+$/) continue
+        base = name; sub(/\/producers=[0-9]+$/, "/cached", base)
+        k = name SUBSEP "ns/op"; kb = base SUBSEP "ns/op"
+        if ((k in cnt) && (kb in cnt) && sum[kb] > 0) {
+            overhead[name] = (sum[k] / cnt[k]) / (sum[kb] / cnt[kb])
+        }
+    }
     printf "{\n  \"count\": %d,\n  \"num_cpu\": %d,\n  \"benchmarks\": [\n", count, ncpu
     for (b = 1; b <= nb; b++) {
         name = order[b]
@@ -62,6 +100,7 @@ END {
             printf ", \"%s\": %.6g", u, sum[k] / cnt[k]
         }
         if (name in speedup) printf ", \"speedup_vs_1\": %.6g", speedup[name]
+        if (name in overhead) printf ", \"overhead_vs_direct\": %.6g", overhead[name]
         printf "}%s\n", (b < nb ? "," : "")
     }
     print "  ]"

@@ -5,7 +5,8 @@
 // threshold.
 //
 //	go run ./scripts/benchdiff [-match RE] [-max-regress PCT] \
-//	    [-scaling-match RE] [-max-scaling-loss PCT] old.json new.json
+//	    [-scaling-match RE] [-max-scaling-loss PCT] \
+//	    [-overhead-match RE] [-max-overhead PCT] old.json new.json
 //
 // Every benchmark present in both files is printed with its old→new
 // ns/op and the percent delta; only the benchmarks whose name matches
@@ -26,6 +27,18 @@
 // workers=8 speedup measured on 1–3 CPUs says nothing about pipeline
 // scaling. Files without num_cpu keep the gate active, so older
 // baselines stay comparable.
+//
+// The overhead gate bounds the producer-sharding merge tax: bench.sh
+// derives overhead_vs_direct — ns/op of a producers=N variant over
+// ns/op of the direct (cached) run of the same workload — and the gate
+// fails when a -overhead-match benchmark's new ratio exceeds
+// 1 + -max-overhead percent. Like the ratios above it divides out the
+// host, so it stays active on any CPU count; like the scaling gate it
+// engages only where the committed baseline carries the field, and a
+// gated-and-committed ratio missing from the new file is an error. The
+// default covers producers=1 — the merge layer running with zero
+// parallelism to pay for it, which must stay within noise of the
+// direct scan.
 //
 // Exit status: 0 gates passed, 1 regression, 2 operational error
 // (bad flags, unreadable or malformed input, nothing to compare).
@@ -48,11 +61,13 @@ type benchFile struct {
 }
 
 // entry is one benchmark's gateable numbers: ns/op always, the scaling
-// ratio only when bench.sh derived one.
+// and overhead ratios only when bench.sh derived them.
 type entry struct {
-	ns         float64
-	speedup    float64
-	hasSpeedup bool
+	ns          float64
+	speedup     float64
+	hasSpeedup  bool
+	overhead    float64
+	hasOverhead bool
 }
 
 // load returns benchmark name → entry for every benchmark that carries
@@ -83,6 +98,9 @@ func load(path string) (map[string]entry, int, error) {
 		if raw, ok := b["speedup_vs_1"]; ok && json.Unmarshal(raw, &e.speedup) == nil && e.speedup > 0 {
 			e.hasSpeedup = true
 		}
+		if raw, ok := b["overhead_vs_direct"]; ok && json.Unmarshal(raw, &e.overhead) == nil && e.overhead > 0 {
+			e.hasOverhead = true
+		}
 		out[name] = e
 	}
 	return out, f.NumCPU, nil
@@ -104,6 +122,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"regexp of benchmark names the speedup_vs_1 scaling gate applies to")
 	maxScalingLoss := fs.Float64("max-scaling-loss", 20,
 		"fail when a gated benchmark's speedup_vs_1 shrinks more than this percent of the committed ratio")
+	overheadMatch := fs.String("overhead-match", `^BenchmarkExploreSynthetic/producers=1$`,
+		"regexp of benchmark names the overhead_vs_direct gate applies to")
+	maxOverhead := fs.Float64("max-overhead", 25,
+		"fail when a gated benchmark's overhead_vs_direct exceeds 1 plus this percent")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -117,6 +139,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	scalingGate, err := regexp.Compile(*scalingMatch)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	overheadGate, err := regexp.Compile(*overheadMatch)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
@@ -170,24 +197,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintf(stdout, "%-50s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", name, o.ns, n.ns, delta, status)
-		if !scalingActive || !scalingGate.MatchString(name) || !o.hasSpeedup {
-			// The scaling gate engages only where the committed baseline
-			// recorded a ratio: old baselines stay comparable.
-			continue
+		// Both ratio gates engage only where the committed baseline
+		// recorded the ratio: old baselines stay comparable.
+		if scalingActive && scalingGate.MatchString(name) && o.hasSpeedup {
+			if !n.hasSpeedup {
+				fmt.Fprintf(stderr, "benchdiff: %s: committed file has speedup_vs_1 but the new file does not\n", name)
+				return 2
+			}
+			floor := o.speedup * (1 - *maxScalingLoss/100)
+			status = "  ok (scaling gated)"
+			// The relative epsilon keeps an exactly-at-threshold ratio on
+			// the passing side of the float arithmetic.
+			if n.speedup < floor*(1-1e-9) {
+				status = fmt.Sprintf("  SCALING LOSS (< %.2fx)", floor)
+				failed = true
+			}
+			fmt.Fprintf(stdout, "%-50s %13.2fx -> %13.2fx speedup_vs_1%s\n", name, o.speedup, n.speedup, status)
 		}
-		if !n.hasSpeedup {
-			fmt.Fprintf(stderr, "benchdiff: %s: committed file has speedup_vs_1 but the new file does not\n", name)
-			return 2
+		if overheadGate.MatchString(name) && o.hasOverhead {
+			if !n.hasOverhead {
+				fmt.Fprintf(stderr, "benchdiff: %s: committed file has overhead_vs_direct but the new file does not\n", name)
+				return 2
+			}
+			ceil := 1 + *maxOverhead/100
+			status = "  ok (overhead gated)"
+			if n.overhead > ceil*(1+1e-9) {
+				status = fmt.Sprintf("  OVERHEAD (> %.2fx direct)", ceil)
+				failed = true
+			}
+			fmt.Fprintf(stdout, "%-50s %13.2fx -> %13.2fx overhead_vs_direct%s\n", name, o.overhead, n.overhead, status)
 		}
-		floor := o.speedup * (1 - *maxScalingLoss/100)
-		status = "  ok (scaling gated)"
-		// The relative epsilon keeps an exactly-at-threshold ratio on
-		// the passing side of the float arithmetic.
-		if n.speedup < floor*(1-1e-9) {
-			status = fmt.Sprintf("  SCALING LOSS (< %.2fx)", floor)
-			failed = true
-		}
-		fmt.Fprintf(stdout, "%-50s %13.2fx -> %13.2fx speedup_vs_1%s\n", name, o.speedup, n.speedup, status)
 	}
 	if gated == 0 {
 		fmt.Fprintf(stderr, "benchdiff: no benchmark matched the gate %q\n", *match)

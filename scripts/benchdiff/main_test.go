@@ -298,3 +298,132 @@ func TestScalingGateSkippedOnLowCPU(t *testing.T) {
 		t.Fatalf("no num_cpu: exit = %d, want 1 (gate active)\n%s", code, out)
 	}
 }
+
+const overheadName = "BenchmarkExploreSynthetic/producers=1"
+
+// writeBenchOverhead is writeBench with an overhead_vs_direct on every
+// entry whose value is positive.
+func writeBenchOverhead(t *testing.T, name string, benches map[string][2]float64) string {
+	t.Helper()
+	var entries []string
+	for n, v := range benches {
+		if v[1] > 0 {
+			entries = append(entries, fmt.Sprintf(`{"name":%q,"ns/op":%g,"overhead_vs_direct":%g}`, n, v[0], v[1]))
+		} else {
+			entries = append(entries, fmt.Sprintf(`{"name":%q,"ns/op":%g}`, n, v[0]))
+		}
+	}
+	data := fmt.Sprintf(`{"count":%d,"benchmarks":[%s]}`, len(benches), strings.Join(entries, ","))
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOverheadGatePasses: a producers=1 merge tax within 1 +
+// -max-overhead of the direct scan passes and is reported as gated.
+// The gate is absolute (the ratio already divides out the host), so a
+// committed 1.02x does not tighten the bar for a new 1.10x.
+func TestOverheadGatePasses(t *testing.T) {
+	old := writeBenchOverhead(t, "old.json", map[string][2]float64{
+		gatedName: {1000, 0}, overheadName: {1020, 1.02},
+	})
+	cur := writeBenchOverhead(t, "new.json", map[string][2]float64{
+		gatedName: {1000, 0}, overheadName: {1100, 1.10},
+	})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "ok (overhead gated)") {
+		t.Errorf("overhead gate not reported:\n%s", out)
+	}
+}
+
+// TestOverheadGateFails: a merge tax beyond 1 + -max-overhead (default
+// 25: here 1.60x direct) fails the diff even though the gated ns/op
+// entry itself is fine.
+func TestOverheadGateFails(t *testing.T) {
+	old := writeBenchOverhead(t, "old.json", map[string][2]float64{
+		gatedName: {1000, 0}, overheadName: {1020, 1.02},
+	})
+	cur := writeBenchOverhead(t, "new.json", map[string][2]float64{
+		gatedName: {1000, 0}, overheadName: {1600, 1.60},
+	})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "OVERHEAD") {
+		t.Errorf("overhead breach not reported:\n%s", out)
+	}
+}
+
+// TestOverheadGateExactBoundary: exactly 1.25x passes; the gate fires
+// only beyond the ceiling.
+func TestOverheadGateExactBoundary(t *testing.T) {
+	old := writeBenchOverhead(t, "old.json", map[string][2]float64{
+		gatedName: {1000, 0}, overheadName: {1020, 1.02},
+	})
+	cur := writeBenchOverhead(t, "new.json", map[string][2]float64{
+		gatedName: {1000, 0}, overheadName: {1250, 1.25},
+	})
+	if code, out, _ := runDiff(t, old, cur); code != 0 {
+		t.Fatalf("exit = %d on an exact-ceiling ratio, want 0\n%s", code, out)
+	}
+}
+
+// TestOverheadGateInactiveWithoutCommittedRatio: a committed baseline
+// predating overhead_vs_direct leaves the gate off.
+func TestOverheadGateInactiveWithoutCommittedRatio(t *testing.T) {
+	old := writeBench(t, "old.json", map[string]float64{gatedName: 1000, overheadName: 1020})
+	cur := writeBenchOverhead(t, "new.json", map[string][2]float64{
+		gatedName: {1000, 0}, overheadName: {2000, 2.0},
+	})
+	code, out, _ := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (no committed ratio, gate inactive)\n%s", code, out)
+	}
+	if strings.Contains(out, "overhead gated") {
+		t.Errorf("inactive overhead gate still reported:\n%s", out)
+	}
+}
+
+// TestOverheadGateMissingNewRatio: the committed file promises an
+// overhead ratio the new file lost — an operational error.
+func TestOverheadGateMissingNewRatio(t *testing.T) {
+	old := writeBenchOverhead(t, "old.json", map[string][2]float64{
+		gatedName: {1000, 0}, overheadName: {1020, 1.02},
+	})
+	cur := writeBench(t, "new.json", map[string]float64{gatedName: 1000, overheadName: 1020})
+	code, _, errOut := runDiff(t, old, cur)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "overhead_vs_direct") {
+		t.Errorf("missing ratio not diagnosed:\n%s", errOut)
+	}
+}
+
+// TestOverheadGateActiveOnLowCPU: unlike the scaling gate, the
+// overhead gate stays active on a 1-CPU runner — the producers=1 merge
+// tax is a sequential measurement, meaningful on any machine.
+func TestOverheadGateActiveOnLowCPU(t *testing.T) {
+	writeCPU := func(name string, numCPU int, overhead float64) string {
+		data := fmt.Sprintf(`{"count":2,"num_cpu":%d,"benchmarks":[`+
+			`{"name":%q,"ns/op":1000},`+
+			`{"name":%q,"ns/op":%g,"overhead_vs_direct":%g}]}`,
+			numCPU, gatedName, overheadName, 1000*overhead, overhead)
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := writeCPU("old.json", 1, 1.02)
+	cur := writeCPU("new.json", 1, 1.60)
+	if code, out, _ := runDiff(t, old, cur); code != 1 {
+		t.Fatalf("exit = %d, want 1 (overhead gate active on 1 CPU)\n%s", code, out)
+	}
+}
